@@ -1,0 +1,174 @@
+//===- bench/BenchUtil.h - shared harness plumbing --------------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common setup shared by the per-figure harnesses: workload preparation
+/// (lower + loop recovery + train/ref profiles) and the marker-selection
+/// configurations the paper's bar groups use. The scaled experiment knobs
+/// live here so every figure uses the same 1000x-reduced constants:
+///
+///   paper                     here
+///   ------------------------- --------------------
+///   BBV fixed interval 10M    10K instructions
+///   ilower 10M                10K
+///   limit mode 10M..200M      10K..200K
+///   whole-program 100K / 10M  100 / 10K
+///   SimPoint dim 15, kmax 10  identical
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_BENCH_BENCHUTIL_H
+#define SPM_BENCH_BENCHUTIL_H
+
+#include "callloop/Profile.h"
+#include "ir/Lowering.h"
+#include "markers/Pipeline.h"
+#include "markers/Selector.h"
+#include "phase/Metrics.h"
+#include "simpoint/SimPoint.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <memory>
+#include <set>
+#include <string>
+
+namespace spm {
+namespace bench {
+
+// The scaled experiment constants (see file comment).
+constexpr uint64_t FixedBbvInterval = 10000;
+constexpr uint64_t ILower = 10000;
+constexpr uint64_t MaxLimit = 200000;
+constexpr uint64_t WholeProgramFine = 100;
+constexpr uint64_t WholeProgramCoarse = 10000;
+
+/// A workload lowered and profiled on both inputs.
+struct Prepared {
+  Workload W;
+  std::unique_ptr<Binary> Bin;
+  LoopIndex Loops;
+  std::unique_ptr<CallLoopGraph> GTrain;
+  std::unique_ptr<CallLoopGraph> GRef;
+};
+
+inline Prepared prepare(const std::string &Name) {
+  Prepared P;
+  P.W = WorkloadRegistry::create(Name);
+  P.Bin = lower(*P.W.Program, LoweringOptions::O2());
+  P.Loops = LoopIndex::build(*P.Bin);
+  P.GTrain = buildCallLoopGraph(*P.Bin, P.Loops, P.W.Train);
+  P.GRef = buildCallLoopGraph(*P.Bin, P.Loops, P.W.Ref);
+  return P;
+}
+
+/// The marker-selection configurations of Figs. 7-9's bar groups.
+inline SelectorConfig noLimitConfig(bool ProceduresOnly = false) {
+  SelectorConfig C;
+  C.ILower = ILower;
+  C.ProceduresOnly = ProceduresOnly;
+  return C;
+}
+
+inline SelectorConfig limitConfig() {
+  SelectorConfig C;
+  C.ILower = ILower;
+  C.Limit = true;
+  C.MaxLimit = MaxLimit;
+  return C;
+}
+
+/// Runs the ref input under markers selected from \p G (train graph for
+/// "cross", ref graph for "self").
+inline MarkerRun markerRun(const Prepared &P, const CallLoopGraph &G,
+                           const SelectorConfig &C, bool CollectBbv = false) {
+  SelectionResult Sel = selectMarkers(G, C);
+  return runMarkerIntervals(*P.Bin, P.Loops, G, Sel.Markers, P.W.Ref,
+                            CollectBbv);
+}
+
+/// Number of distinct phase ids actually observed in a run.
+inline size_t observedPhases(const std::vector<IntervalRecord> &Ivs) {
+  std::set<int32_t> Ids;
+  for (const IntervalRecord &R : Ivs)
+    Ids.insert(R.PhaseId);
+  return Ids.size();
+}
+
+/// One benchmark's results for all six approaches of Figs. 7-9, plus the
+/// whole-program baselines of Fig. 9.
+struct BehaviorRow {
+  std::string Name;
+  // Interval/phase summaries under the CPI metric.
+  ClassificationSummary Bbv; ///< Fixed 10K intervals + SimPoint phases.
+  uint32_t BbvK = 0;
+  ClassificationSummary ProcsCross, ProcsSelf, Cross, Self, Limit;
+  size_t ProcsCrossPhases = 0, ProcsSelfPhases = 0, CrossPhases = 0,
+         SelfPhases = 0, LimitPhases = 0;
+  double Whole100 = 0.0, Whole10K = 0.0;
+  // The same classifications scored on the DL1 miss rate (the paper's
+  // second metric; Sec. 1 "counting execution cycles and data cache
+  // hits").
+  double BbvMissCov = 0.0, CrossMissCov = 0.0, SelfMissCov = 0.0,
+         LimitMissCov = 0.0, WholeMiss10K = 0.0;
+};
+
+/// Runs every approach on one workload. This is the shared computation
+/// behind fig07/fig08/fig09.
+inline BehaviorRow computeBehaviorRow(const std::string &Name) {
+  BehaviorRow Row;
+  Prepared P = prepare(Name);
+  Row.Name = P.W.displayName();
+
+  // BBV baseline: fixed 10K intervals clustered by SimPoint.
+  std::vector<IntervalRecord> Fixed =
+      runFixedIntervals(*P.Bin, P.W.Ref, FixedBbvInterval, true);
+  SimPointResult SP = runSimPoint(Fixed, SimPointConfig());
+  Row.Bbv = summarizeClassification(Fixed, SP.Assign, cpiMetric);
+  Row.BbvK = SP.K;
+  Row.BbvMissCov =
+      summarizeClassification(Fixed, SP.Assign, missRateMetric).OverallCov;
+  Row.WholeMiss10K = wholeProgramCov(Fixed, missRateMetric);
+
+  auto Summarize = [](const MarkerRun &R, ClassificationSummary &Out,
+                      size_t &Phases) {
+    Out = summarizeClassification(R.Intervals,
+                                  phasesFromRecords(R.Intervals), cpiMetric);
+    Phases = observedPhases(R.Intervals);
+  };
+  auto MissCov = [](const MarkerRun &R) {
+    return summarizeClassification(R.Intervals,
+                                   phasesFromRecords(R.Intervals),
+                                   missRateMetric)
+        .OverallCov;
+  };
+  MarkerRun R;
+  R = markerRun(P, *P.GTrain, noLimitConfig(/*ProceduresOnly=*/true));
+  Summarize(R, Row.ProcsCross, Row.ProcsCrossPhases);
+  R = markerRun(P, *P.GRef, noLimitConfig(/*ProceduresOnly=*/true));
+  Summarize(R, Row.ProcsSelf, Row.ProcsSelfPhases);
+  R = markerRun(P, *P.GTrain, noLimitConfig());
+  Summarize(R, Row.Cross, Row.CrossPhases);
+  Row.CrossMissCov = MissCov(R);
+  R = markerRun(P, *P.GRef, noLimitConfig());
+  Summarize(R, Row.Self, Row.SelfPhases);
+  Row.SelfMissCov = MissCov(R);
+  R = markerRun(P, *P.GRef, limitConfig());
+  Summarize(R, Row.Limit, Row.LimitPhases);
+  Row.LimitMissCov = MissCov(R);
+
+  // Whole-program CoV at the paper's two fixed granularities.
+  Row.Whole100 = wholeProgramCov(
+      runFixedIntervals(*P.Bin, P.W.Ref, WholeProgramFine, false), cpiMetric);
+  Row.Whole10K = wholeProgramCov(Fixed, cpiMetric);
+  return Row;
+}
+
+} // namespace bench
+} // namespace spm
+
+#endif // SPM_BENCH_BENCHUTIL_H

@@ -1,0 +1,77 @@
+//===- bench/SimPointSweep.h - shared Figs. 11/12 computation --*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figures 11 and 12 report two views (simulation time, CPI error) of the
+/// same experiment: standard fixed-length SimPoint at three interval sizes
+/// versus SimPoint 3.0 over marker-cut VLIs at three coverage levels. The
+/// fixed-length kmax values follow the paper's scaling rule ([22]): more,
+/// smaller intervals warrant more clusters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_BENCH_SIMPOINTSWEEP_H
+#define SPM_BENCH_SIMPOINTSWEEP_H
+
+#include "BenchUtil.h"
+
+namespace spm {
+namespace bench {
+
+/// One benchmark's six configurations.
+struct SimPointRow {
+  std::string Name;
+  // SP_1K, SP_10K, SP_100K then VLI 95%, 99%, 100%.
+  CpiEstimate Est[6];
+};
+
+inline SimPointRow computeSimPointRow(const std::string &Name) {
+  SimPointRow Row;
+  Prepared P = prepare(Name);
+  Row.Name = P.W.displayName();
+
+  // Fixed-length SimPoint at 1K/10K/100K (paper: 1M/10M/100M) with the
+  // scaled kmax of 30/30/10 (paper: 300/30/10; 300 clusters over a few
+  // thousand points degenerates at our scale, so the finest level reuses
+  // 30).
+  struct {
+    uint64_t Len;
+    uint32_t KMax;
+  } FixedCfg[3] = {{1000, 30}, {10000, 30}, {100000, 10}};
+  for (int I = 0; I < 3; ++I) {
+    std::vector<IntervalRecord> Ivs =
+        runFixedIntervals(*P.Bin, P.W.Ref, FixedCfg[I].Len, true);
+    SimPointConfig SPC;
+    SPC.KMax = FixedCfg[I].KMax;
+    SPC.Restarts = 3;
+    SimPointResult SP = runSimPoint(Ivs, SPC);
+    Row.Est[I] = estimateCpi(Ivs, SP, 1.0);
+  }
+
+  // Marker VLIs with the Sec. 5.2 limit heuristics, SimPoint 3.0 weighted
+  // clustering, coverage 95/99/100%.
+  MarkerRun Vli = markerRun(P, *P.GRef, limitConfig(), /*CollectBbv=*/true);
+  SimPointConfig SPC;
+  SPC.KMax = 10;
+  SPC.WeightByLength = true;
+  SimPointResult SP = runSimPoint(Vli.Intervals, SPC);
+  const double Coverage[3] = {0.95, 0.99, 1.0};
+  for (int I = 0; I < 3; ++I)
+    Row.Est[3 + I] = estimateCpi(Vli.Intervals, SP, Coverage[I]);
+  return Row;
+}
+
+inline const char *simPointColumn(int I) {
+  static const char *Names[6] = {"SP_1k",   "SP_10k",  "SP_100k",
+                                 "VLI_95%", "VLI_99%", "VLI_100%"};
+  return Names[I];
+}
+
+} // namespace bench
+} // namespace spm
+
+#endif // SPM_BENCH_SIMPOINTSWEEP_H

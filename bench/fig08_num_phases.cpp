@@ -1,0 +1,51 @@
+//===- bench/fig08_num_phases.cpp - Figure 8 ------------------------------==//
+//
+// Fig. 8: number of unique phase ids detected by each approach. For the
+// BBV baseline this is SimPoint's chosen cluster count; for the marker
+// approaches it is the number of distinct markers observed firing on the
+// ref run (plus the prologue). The paper's shapes: BBV detects the most
+// phases; the marker approaches typically find about half as many; the
+// limit mode finds the most markers of the marker family (many small
+// children get cut to respect the maximum interval size — galgel and gcc
+// are the paper's examples).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace spm;
+using namespace spm::bench;
+
+int main() {
+  std::printf("=== Figure 8: number of phases detected ===\n\n");
+  Table T;
+  T.row()
+      .cell("benchmark")
+      .cell("BBV")
+      .cell("procs-cross")
+      .cell("procs-self")
+      .cell("cross")
+      .cell("self")
+      .cell("limit 10k-200k");
+
+  double Sum[6] = {0, 0, 0, 0, 0, 0};
+  size_t N = 0;
+  for (const std::string &Name : WorkloadRegistry::behaviorSuite()) {
+    BehaviorRow R = computeBehaviorRow(Name);
+    uint64_t Vals[6] = {R.BbvK,        R.ProcsCrossPhases, R.ProcsSelfPhases,
+                        R.CrossPhases, R.SelfPhases,       R.LimitPhases};
+    T.row().cell(R.Name);
+    for (int I = 0; I < 6; ++I) {
+      T.cell(Vals[I]);
+      Sum[I] += static_cast<double>(Vals[I]);
+    }
+    ++N;
+  }
+  T.row().cell("avg");
+  for (double S : Sum)
+    T.cell(S / static_cast<double>(N), 1);
+  std::printf("%s", T.str().c_str());
+  return 0;
+}

@@ -1,0 +1,108 @@
+//===- bench/fig10_cache_reconfig.cpp - Figure 10 & Sec. 6.1 text ---------==//
+//
+// Fig. 10: average data-cache size under adaptive reconfiguration with no
+// allowed increase in miss rate, across the five benchmarks Shen et al.
+// provided (applu, compress, mesh, swim, tomcatv). Bars: the idealistic
+// BBV/SimPoint oracle, our markers self-trained (SPM-Self), procedures-only
+// cross-trained (Procs-Cross), the reuse-distance baseline, our markers
+// cross-trained (SPM-Cross), and the best fixed size. Expected shape: the
+// adaptive schemes cluster together well below the best fixed size, with
+// SPM as effective as the reuse-distance approach.
+//
+// The second table reproduces the Sec. 6.1 text numbers for gcc and
+// vortex, which the reuse-distance approach could not handle: best fixed
+// size vs the SPM average (the paper reports 256KB -> ~240KB for gcc and
+// 245KB -> ~200KB for vortex at full scale; the shape to match is "best
+// fixed large, SPM somewhat below, reuse-distance finds no markers").
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "adaptcache/Policies.h"
+
+#include <cstdio>
+
+using namespace spm;
+using namespace spm::bench;
+
+int main() {
+  std::printf("=== Figure 10: average cache size (KB), no allowed miss-rate "
+              "increase ===\n\n");
+  Table T;
+  T.row()
+      .cell("benchmark")
+      .cell("BBV")
+      .cell("SPM-Self")
+      .cell("Procs-Cross")
+      .cell("ReuseDist")
+      .cell("SPM-Cross")
+      .cell("BestFixed");
+
+  double Sum[6] = {0, 0, 0, 0, 0, 0};
+  size_t N = 0;
+  for (const std::string &Name : WorkloadRegistry::reconfigSuite()) {
+    Prepared P = prepare(Name);
+    MarkerSet Self = selectMarkers(*P.GRef, noLimitConfig()).Markers;
+    MarkerSet Cross = selectMarkers(*P.GTrain, noLimitConfig()).Markers;
+    MarkerSet Procs =
+        selectMarkers(*P.GTrain, noLimitConfig(/*ProceduresOnly=*/true))
+            .Markers;
+    ReuseMarkerSet Reuse = profileReuseMarkers(*P.Bin, P.W.Train);
+
+    double Vals[6];
+    Vals[0] = runAdaptiveWithOracleBbv(*P.Bin, P.W.Ref, FixedBbvInterval)
+                  .AvgCacheKB;
+    Vals[1] = runAdaptiveWithMarkers(*P.Bin, P.Loops, *P.GRef, Self, P.W.Ref)
+                  .AvgCacheKB;
+    Vals[2] =
+        runAdaptiveWithMarkers(*P.Bin, P.Loops, *P.GTrain, Procs, P.W.Ref)
+            .AvgCacheKB;
+    Vals[3] = runAdaptiveWithReuseMarkers(*P.Bin, Reuse, P.W.Ref).AvgCacheKB;
+    Vals[4] =
+        runAdaptiveWithMarkers(*P.Bin, P.Loops, *P.GTrain, Cross, P.W.Ref)
+            .AvgCacheKB;
+    Vals[5] = bestFixedSize(*P.Bin, P.W.Ref).BestFixedKB;
+
+    T.row().cell(P.W.Name + (Reuse.empty() ? "*" : ""));
+    for (int I = 0; I < 6; ++I) {
+      T.cell(Vals[I], 1);
+      Sum[I] += Vals[I];
+    }
+    ++N;
+  }
+  T.row().cell("avg");
+  for (double S : Sum)
+    T.cell(S / static_cast<double>(N), 1);
+  std::printf("%s", T.str().c_str());
+  std::printf("(* = reuse-distance analysis found no markers; its policy "
+              "stays at the safe 256KB)\n\n");
+
+  // Sec. 6.1 in-text numbers: gcc and vortex, which defeat the
+  // reuse-distance analysis but not the call-loop markers.
+  std::printf("=== Sec. 6.1 text: gcc and vortex ===\n\n");
+  Table G;
+  G.row()
+      .cell("benchmark")
+      .cell("reuse markers")
+      .cell("SPM avg KB")
+      .cell("BestFixed KB")
+      .cell("SPM miss")
+      .cell("fixed miss");
+  for (const std::string &Name : {std::string("gcc"), std::string("vortex")}) {
+    Prepared P = prepare(Name);
+    MarkerSet Self = selectMarkers(*P.GRef, noLimitConfig()).Markers;
+    ReuseMarkerSet Reuse = profileReuseMarkers(*P.Bin, P.W.Train);
+    AdaptiveCacheResult A =
+        runAdaptiveWithMarkers(*P.Bin, P.Loops, *P.GRef, Self, P.W.Ref);
+    FixedSizeResult F = bestFixedSize(*P.Bin, P.W.Ref);
+    G.row()
+        .cell(P.W.displayName())
+        .cell(static_cast<uint64_t>(Reuse.size()))
+        .cell(A.AvgCacheKB, 1)
+        .cell(F.BestFixedKB, 1)
+        .percentCell(A.MissRate)
+        .percentCell(F.PerConfig[F.BestIdx].missRate());
+  }
+  std::printf("%s", G.str().c_str());
+  return 0;
+}

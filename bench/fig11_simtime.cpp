@@ -1,0 +1,44 @@
+//===- bench/fig11_simtime.cpp - Figure 11 --------------------------------==//
+//
+// Fig. 11: number of simulated instructions required by each SimPoint
+// configuration — fixed intervals of 1K/10K/100K (paper: 1M/10M/100M)
+// versus phase-marker VLIs filtered to 95%/99%/100% execution coverage.
+// Expected shape: simulation time scales with interval size for the fixed
+// configurations, and VLI_99% lands near SP_10k (the paper's conclusion:
+// "about the same simulation time as 10m fixed length SimPoint with a
+// comparable error rate").
+//
+//===----------------------------------------------------------------------===//
+
+#include "SimPointSweep.h"
+
+#include <cstdio>
+
+using namespace spm;
+using namespace spm::bench;
+
+int main() {
+  std::printf("=== Figure 11: simulated instructions per configuration "
+              "===\n\n");
+  Table T;
+  T.row().cell("benchmark");
+  for (int I = 0; I < 6; ++I)
+    T.cell(simPointColumn(I));
+
+  double Sum[6] = {0, 0, 0, 0, 0, 0};
+  size_t N = 0;
+  for (const std::string &Name : WorkloadRegistry::behaviorSuite()) {
+    SimPointRow R = computeSimPointRow(Name);
+    T.row().cell(R.Name);
+    for (int I = 0; I < 6; ++I) {
+      T.cell(R.Est[I].SimulatedInstrs);
+      Sum[I] += static_cast<double>(R.Est[I].SimulatedInstrs);
+    }
+    ++N;
+  }
+  T.row().cell("avg");
+  for (double S : Sum)
+    T.cell(S / static_cast<double>(N), 0);
+  std::printf("%s", T.str().c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+//===- bench/fig12_cpi_error.cpp - Figure 12 ------------------------------==//
+//
+// Fig. 12: relative CPI error of each SimPoint configuration (same sweep
+// as Fig. 11). Expected shape: smaller fixed intervals estimate better;
+// the VLI configurations are comparable to SP_10k — the paper's point is
+// not accuracy improvement but that VLI simulation points are defined by
+// source-level markers and therefore portable across compilations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "SimPointSweep.h"
+
+#include <cstdio>
+
+using namespace spm;
+using namespace spm::bench;
+
+int main() {
+  std::printf("=== Figure 12: SimPoint CPI relative error ===\n\n");
+  Table T;
+  T.row().cell("benchmark");
+  for (int I = 0; I < 6; ++I)
+    T.cell(simPointColumn(I));
+
+  double Sum[6] = {0, 0, 0, 0, 0, 0};
+  size_t N = 0;
+  for (const std::string &Name : WorkloadRegistry::behaviorSuite()) {
+    SimPointRow R = computeSimPointRow(Name);
+    T.row().cell(R.Name);
+    for (int I = 0; I < 6; ++I) {
+      T.percentCell(R.Est[I].RelError);
+      Sum[I] += R.Est[I].RelError;
+    }
+    ++N;
+  }
+  T.row().cell("avg");
+  for (double S : Sum)
+    T.percentCell(S / static_cast<double>(N));
+  std::printf("%s", T.str().c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+//===- bench/suite_summary.cpp - workload suite overview ------------------==//
+//
+// Not a paper figure: a one-stop overview of the 16 synthetic workloads
+// (the substitution DESIGN.md describes for SPEC) so a user can sanity-
+// check the suite at a glance — run sizes, static shape, marker yield, and
+// phase quality on the ref input.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace spm;
+using namespace spm::bench;
+
+int main() {
+  std::printf("=== Workload suite overview ===\n\n");
+  Table T;
+  T.row()
+      .cell("workload")
+      .cell("funcs")
+      .cell("blocks")
+      .cell("loops")
+      .cell("train Minstr")
+      .cell("ref Minstr")
+      .cell("mkrs")
+      .cell("phases")
+      .cell("avgIv")
+      .cell("CoV CPI")
+      .cell("whole@10k");
+
+  for (const std::string &Name : WorkloadRegistry::allNames()) {
+    Prepared P = prepare(Name);
+    ExecutionObserver Nop1, Nop2;
+    RunResult Train = Interpreter(*P.Bin, P.W.Train).run(Nop1);
+    RunResult Ref = Interpreter(*P.Bin, P.W.Ref).run(Nop2);
+
+    SelectionResult Sel = selectMarkers(*P.GTrain, noLimitConfig());
+    MarkerRun R = runMarkerIntervals(*P.Bin, P.Loops, *P.GTrain,
+                                     Sel.Markers, P.W.Ref, false);
+    ClassificationSummary S = summarizeClassification(
+        R.Intervals, phasesFromRecords(R.Intervals), cpiMetric);
+    double Whole = wholeProgramCov(
+        runFixedIntervals(*P.Bin, P.W.Ref, FixedBbvInterval, false),
+        cpiMetric);
+
+    T.row()
+        .cell(P.W.displayName())
+        .cell(static_cast<uint64_t>(P.Bin->Funcs.size()))
+        .cell(static_cast<uint64_t>(P.Bin->Blocks.size()))
+        .cell(static_cast<uint64_t>(P.Loops.size()))
+        .cell(static_cast<double>(Train.TotalInstrs) / 1e6, 2)
+        .cell(static_cast<double>(Ref.TotalInstrs) / 1e6, 2)
+        .cell(static_cast<uint64_t>(Sel.Markers.size()))
+        .cell(static_cast<uint64_t>(S.NumPhases))
+        .cell(S.AvgIntervalLen, 0)
+        .percentCell(S.OverallCov)
+        .percentCell(Whole);
+  }
+  std::printf("%s", T.str().c_str());
+  return 0;
+}

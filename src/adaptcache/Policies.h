@@ -1,0 +1,184 @@
+//===- adaptcache/Policies.h - Fig. 10 policy drivers -----------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One driver per bar of Fig. 10: adaptive reconfiguration steered by our
+/// software phase markers, by Shen-style reuse-distance markers, by oracle
+/// SimPoint phase ids over fixed-length intervals, and the best-fixed-size
+/// baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_ADAPTCACHE_POLICIES_H
+#define SPM_ADAPTCACHE_POLICIES_H
+
+#include "adaptcache/AdaptiveCache.h"
+#include "markers/Pipeline.h"
+#include "reuse/ReuseMarkers.h"
+#include "simpoint/SimPoint.h"
+
+#include <vector>
+
+namespace spm {
+
+/// Software-phase-marker policy: boundaries fire when a marked call-loop
+/// edge is traversed. Back-to-back firings (e.g. a call edge immediately
+/// followed by the callee's head->body edge) are coalesced by the engine.
+inline AdaptiveCacheResult
+runAdaptiveWithMarkers(const Binary &B, const LoopIndex &Loops,
+                       const CallLoopGraph &G, const MarkerSet &M,
+                       const WorkloadInput &In) {
+  AdaptiveCacheEngine Engine;
+  CallLoopTracker Tracker(B, Loops, G);
+  MarkerRuntime Runtime(M, G);
+  Tracker.addListener(&Runtime);
+  Runtime.setCallback(
+      [&](int32_t Idx) { Engine.onPhaseBoundary(Idx); });
+
+  ObserverMux Mux;
+  Mux.add(&Tracker);
+  Mux.add(&Engine);
+  Interpreter Interp(B, In);
+  Interp.run(Mux);
+  return Engine.result();
+}
+
+/// Reuse-distance-marker policy (the Shen et al. baseline). An empty
+/// marker set degenerates to one phase at the safe (largest) size, which
+/// is how the baseline behaves when its analysis finds no structure.
+inline AdaptiveCacheResult
+runAdaptiveWithReuseMarkers(const Binary &B, const ReuseMarkerSet &M,
+                            const WorkloadInput &In) {
+  AdaptiveCacheEngine Engine;
+  ReuseMarkerRuntime Runtime(M);
+  Runtime.setCallback(
+      [&](int32_t Idx) { Engine.onPhaseBoundary(Idx); });
+
+  ObserverMux Mux;
+  Mux.add(&Runtime);
+  Mux.add(&Engine);
+  Interpreter Interp(B, In);
+  Interp.run(Mux);
+  return Engine.result();
+}
+
+/// Feeds precomputed per-interval phase ids (from an oracle clustering) to
+/// the engine at fixed-length interval boundaries, mirroring
+/// IntervalBuilder's cut rule exactly (cut before the crossing block).
+class OracleBoundaryDriver : public ExecutionObserver {
+public:
+  OracleBoundaryDriver(AdaptiveCacheEngine &Engine, uint64_t FixedLen,
+                       std::vector<int32_t> PhaseIds)
+      : Engine(Engine), FixedLen(FixedLen), PhaseIds(std::move(PhaseIds)) {}
+
+  void onRunStart(const Binary &B, const WorkloadInput &In) override {
+    (void)B;
+    (void)In;
+    if (!PhaseIds.empty())
+      Engine.onPhaseBoundary(PhaseIds[0]);
+    Next = 1;
+    CurInstrs = 0;
+  }
+
+  void onBlock(const LoweredBlock &Blk) override {
+    if (CurInstrs >= FixedLen && Next < PhaseIds.size()) {
+      Engine.onPhaseBoundary(PhaseIds[Next++]);
+      CurInstrs = 0;
+    }
+    CurInstrs += Blk.NumInstrs;
+  }
+
+private:
+  AdaptiveCacheEngine &Engine;
+  uint64_t FixedLen;
+  std::vector<int32_t> PhaseIds;
+  size_t Next = 1;
+  uint64_t CurInstrs = 0;
+};
+
+/// Oracle SimPoint/BBV policy: cluster fixed-length BBV intervals offline,
+/// then replay with perfect next-interval phase knowledge (the paper's
+/// "ideal SimPoint-based approach", a stand-in for hardware BBV phase
+/// classification with perfect prediction).
+inline AdaptiveCacheResult
+runAdaptiveWithOracleBbv(const Binary &B, const WorkloadInput &In,
+                         uint64_t FixedLen,
+                         const SimPointConfig &SPConfig = SimPointConfig()) {
+  // Pass 1: collect BBVs and cluster.
+  std::vector<IntervalRecord> Ivs =
+      runFixedIntervals(B, In, FixedLen, /*CollectBbv=*/true);
+  SimPointResult SP = runSimPoint(Ivs, SPConfig);
+
+  // Pass 2: replay deterministically, steering by the oracle phase ids.
+  AdaptiveCacheEngine Engine;
+  OracleBoundaryDriver Driver(Engine, FixedLen, SP.Assign);
+  ObserverMux Mux;
+  Mux.add(&Driver);
+  Mux.add(&Engine);
+  Interpreter Interp(B, In);
+  Interp.run(Mux);
+  return Engine.result();
+}
+
+/// Whole-run statistics for every configuration of the sweep, plus the
+/// best fixed size: the smallest configuration whose hit rate is within
+/// \p HitTolAbs (absolute) of the maximum.
+struct FixedSizeResult {
+  std::vector<CacheStats> PerConfig;
+  size_t BestIdx = 0;
+  double BestFixedKB = 0.0;
+};
+
+inline FixedSizeResult
+bestFixedSize(const Binary &B, const WorkloadInput &In,
+              double HitTolAbs = 0.0005,
+              std::vector<CacheConfig> Sweep = CacheConfig::reconfigSweep()) {
+  class ProbeObserver : public ExecutionObserver {
+  public:
+    explicit ProbeObserver(std::vector<CacheConfig> Sweep)
+        : Probe(std::move(Sweep)) {}
+    void onMemAccess(uint64_t Addr, bool IsStore) override {
+      (void)IsStore;
+      Probe.access(Addr);
+    }
+    MultiCacheProbe Probe;
+  };
+
+  ProbeObserver Obs(Sweep);
+  Interpreter Interp(B, In);
+  Interp.run(Obs);
+
+  FixedSizeResult R;
+  R.PerConfig = Obs.Probe.statsSnapshot();
+  double MaxHit = 0.0;
+  for (const CacheStats &S : R.PerConfig)
+    MaxHit = std::max(MaxHit, S.hitRate());
+  for (size_t I = 0; I < R.PerConfig.size(); ++I) {
+    if (R.PerConfig[I].hitRate() >= MaxHit - HitTolAbs) {
+      R.BestIdx = I;
+      break;
+    }
+  }
+  R.BestFixedKB = Sweep[R.BestIdx].sizeKB();
+  return R;
+}
+
+/// Profiles a binary and selects reuse markers in one step (the baseline's
+/// offline analysis).
+inline ReuseMarkerSet
+profileReuseMarkers(const Binary &B, const WorkloadInput &In,
+                    const ReuseMarkerConfig &Config = ReuseMarkerConfig()) {
+  ReuseSignalCollector Collector(Config.WindowInstrs);
+  Interpreter Interp(B, In);
+  Interp.run(Collector);
+  ReuseProfile P = Collector.takeProfile();
+  return selectReuseMarkers(P, Config);
+}
+
+} // namespace spm
+
+#endif // SPM_ADAPTCACHE_POLICIES_H

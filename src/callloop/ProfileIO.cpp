@@ -1,0 +1,141 @@
+//===- callloop/ProfileIO.cpp ---------------------------------------------==//
+
+#include "callloop/ProfileIO.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+using namespace spm;
+
+std::string spm::serializeProfile(const CallLoopGraph &G, const Binary &B,
+                                  const LoopIndex &Loops) {
+  std::string Out = "spm-profile v1\n";
+  char Buf[256];
+
+  std::snprintf(Buf, sizeof(Buf), "funcs %u\n", G.numFuncs());
+  Out += Buf;
+  for (uint32_t F = 0; F < G.numFuncs(); ++F) {
+    std::snprintf(Buf, sizeof(Buf), "func %u %s\n", F,
+                  B.func(F).Name.c_str());
+    Out += Buf;
+  }
+
+  std::snprintf(Buf, sizeof(Buf), "loops %u\n", G.numLoops());
+  Out += Buf;
+  for (uint32_t L = 0; L < G.numLoops(); ++L) {
+    const StaticLoop &SL = Loops.loop(L);
+    std::snprintf(Buf, sizeof(Buf), "loop %u %u %u\n", L, SL.FuncId,
+                  SL.SrcStmtId);
+    Out += Buf;
+  }
+
+  auto Edges = G.sortedEdges();
+  std::snprintf(Buf, sizeof(Buf), "edges %zu\n", Edges.size());
+  Out += Buf;
+  for (const CallLoopEdge *E : Edges) {
+    // %.17g round-trips doubles exactly.
+    std::snprintf(Buf, sizeof(Buf),
+                  "edge %u %u %" PRIu64 " %.17g %.17g %.17g %.17g %.17g\n",
+                  E->From, E->To, E->Hier.count(), E->Hier.mean(),
+                  E->Hier.m2(), E->Hier.sum(), E->Hier.max(),
+                  E->Hier.min());
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::optional<CallLoopProfileFile> spm::parseProfile(const std::string &Text,
+                                                     std::string *Error) {
+  size_t LineNo = 0;
+  auto Fail = [&](const std::string &Msg)
+      -> std::optional<CallLoopProfileFile> {
+    if (Error)
+      *Error = "line " + std::to_string(LineNo) + ": " + Msg;
+    return std::nullopt;
+  };
+
+  std::istringstream In(Text);
+  std::string Line;
+  auto NextLine = [&](std::string &Out) {
+    while (std::getline(In, Out)) {
+      ++LineNo;
+      if (!Out.empty() && Out[0] != '#')
+        return true;
+    }
+    return false;
+  };
+
+  if (!NextLine(Line) || Line != "spm-profile v1")
+    return Fail("missing 'spm-profile v1' header");
+
+  CallLoopProfileFile P;
+  uint32_t NumFuncs = 0, NumLoops = 0;
+  size_t NumEdges = 0;
+
+  if (!NextLine(Line) ||
+      std::sscanf(Line.c_str(), "funcs %u", &NumFuncs) != 1)
+    return Fail("expected 'funcs <N>'");
+  P.FuncNames.resize(NumFuncs);
+  for (uint32_t I = 0; I < NumFuncs; ++I) {
+    uint32_t Id = 0;
+    char Name[200] = {};
+    if (!NextLine(Line) ||
+        std::sscanf(Line.c_str(), "func %u %199s", &Id, Name) != 2 ||
+        Id >= NumFuncs)
+      return Fail("bad func line");
+    P.FuncNames[Id] = Name;
+  }
+
+  if (!NextLine(Line) ||
+      std::sscanf(Line.c_str(), "loops %u", &NumLoops) != 1)
+    return Fail("expected 'loops <N>'");
+  P.LoopInfo.resize(NumLoops);
+  for (uint32_t I = 0; I < NumLoops; ++I) {
+    uint32_t Id = 0, FuncId = 0, Stmt = 0;
+    if (!NextLine(Line) ||
+        std::sscanf(Line.c_str(), "loop %u %u %u", &Id, &FuncId, &Stmt) !=
+            3 ||
+        Id >= NumLoops || FuncId >= NumFuncs)
+      return Fail("bad loop line");
+    P.LoopInfo[Id] = {FuncId, Stmt};
+  }
+
+  P.Graph = std::make_unique<CallLoopGraph>(NumFuncs, NumLoops);
+  for (uint32_t F = 0; F < NumFuncs; ++F) {
+    P.Graph->setNodeInfo(P.Graph->procHead(F), P.FuncNames[F] + ".head",
+                         ~0u);
+    P.Graph->setNodeInfo(P.Graph->procBody(F), P.FuncNames[F] + ".body",
+                         ~0u);
+  }
+  for (uint32_t L = 0; L < NumLoops; ++L) {
+    auto [FuncId, Stmt] = P.LoopInfo[L];
+    std::string Base =
+        P.FuncNames[FuncId] + ".loop.s" + std::to_string(Stmt);
+    P.Graph->setNodeInfo(P.Graph->loopHead(L), Base + ".head", Stmt);
+    P.Graph->setNodeInfo(P.Graph->loopBody(L), Base + ".body", Stmt);
+  }
+
+  if (!NextLine(Line) ||
+      std::sscanf(Line.c_str(), "edges %zu", &NumEdges) != 1)
+    return Fail("expected 'edges <N>'");
+  for (size_t I = 0; I < NumEdges; ++I) {
+    uint32_t From = 0, To = 0;
+    uint64_t Count = 0;
+    double Mean = 0, M2 = 0, Sum = 0, Max = 0, Min = 0;
+    if (!NextLine(Line) ||
+        std::sscanf(Line.c_str(),
+                    "edge %u %u %" SCNu64 " %lg %lg %lg %lg %lg", &From, &To,
+                    &Count, &Mean, &M2, &Sum, &Max, &Min) != 8)
+      return Fail("bad edge line");
+    if (From >= P.Graph->numNodes() || To >= P.Graph->numNodes())
+      return Fail("edge references unknown node");
+    if (Count == 0)
+      return Fail("edge with zero traversals");
+    P.Graph->setEdgeStats(
+        From, To, RunningStat::fromMoments(Count, Mean, M2, Sum, Max, Min));
+  }
+
+  P.Graph->finalize();
+  return P;
+}

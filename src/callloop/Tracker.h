@@ -1,0 +1,125 @@
+//===- callloop/Tracker.h - Runtime call/loop edge detection ----*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CallLoopTracker maintains a shadow stack of active procedure and loop
+/// contexts from the raw instrumentation stream, and reports every
+/// traversal of a call-loop-graph edge: when it begins (the instrumentation
+/// point a software phase marker fires at) and when it ends (with the
+/// hierarchical instruction count the graph profiler records). Loops are
+/// recognized purely from the binary: a block is a loop header iff some
+/// backward branch targets it, and the loop's extent is the static region
+/// from the branch to its target (Sec. 4.2). Both the offline profiler
+/// (GraphProfiler) and the online marker detector (MarkerRuntime) are
+/// listeners of this tracker, which guarantees that markers fire at exactly
+/// the construct boundaries the profile measured.
+///
+/// Head/body discipline (Sec. 4.2):
+///  - Loop entry pushes LoopHead then LoopBody; every re-arrival at the
+///    header while that body is on top ends one body traversal (iteration)
+///    and begins the next; leaving the loop's static region ends body and
+///    head.
+///  - A call pushes the callee's ProcHead only when the callee is not
+///    already active (a recursive *episode* boundary) and always pushes a
+///    ProcBody (one per activation); returns unwind symmetrically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_CALLLOOP_TRACKER_H
+#define SPM_CALLLOOP_TRACKER_H
+
+#include "callloop/Graph.h"
+#include "vm/Observer.h"
+
+#include <vector>
+
+namespace spm {
+
+/// Receives edge traversal events from the tracker.
+class TrackerListener {
+public:
+  virtual ~TrackerListener();
+
+  /// Traversal of (From -> To) is beginning. This is the marker trigger
+  /// point: the code location (call site, loop entry, backward branch) has
+  /// just executed.
+  virtual void onEdgeBegin(NodeId From, NodeId To) {
+    (void)From;
+    (void)To;
+  }
+
+  /// Traversal of (From -> To) finished, having hierarchically executed
+  /// \p HierInstrs instructions.
+  virtual void onEdgeEnd(NodeId From, NodeId To, uint64_t HierInstrs) {
+    (void)From;
+    (void)To;
+    (void)HierInstrs;
+  }
+};
+
+/// The shadow-stack observer. Register listeners before running.
+class CallLoopTracker : public ExecutionObserver {
+public:
+  /// \p G is used only for its static node numbering; the tracker never
+  /// mutates it.
+  CallLoopTracker(const Binary &B, const LoopIndex &Loops,
+                  const CallLoopGraph &G)
+      : B(B), Loops(Loops), G(G) {}
+
+  void addListener(TrackerListener *L) { Listeners.push_back(L); }
+
+  void onRunStart(const Binary &Bin, const WorkloadInput &In) override;
+  void onBlock(const LoweredBlock &Blk) override;
+  void onCall(uint64_t SiteAddr, uint32_t Callee) override;
+  void onReturn(uint32_t Callee) override;
+  void onRunEnd(uint64_t TotalInstrs) override;
+
+  /// Current shadow-stack depth (for tests).
+  size_t depth() const { return Stack.size(); }
+
+private:
+  struct Frame {
+    NodeKind K = NodeKind::Root;
+    NodeId Node = RootNode;
+    NodeId EdgeFrom = RootNode; ///< Source of the edge this frame traverses.
+    uint64_t Hier = 0;          ///< Hierarchical instructions so far.
+    int32_t LoopId = -1;        ///< For loop frames.
+    uint32_t FuncId = 0;        ///< Owning function (loop & proc frames).
+  };
+
+  NodeId currentCtx() const { return Stack.back().Node; }
+
+  void pushFrame(NodeKind K, NodeId Node, NodeId From, int32_t LoopId,
+                 uint32_t FuncId) {
+    for (TrackerListener *L : Listeners)
+      L->onEdgeBegin(From, Node);
+    Stack.push_back({K, Node, From, 0, LoopId, FuncId});
+  }
+
+  void popFrame() {
+    assert(Stack.size() > 1 && "cannot pop the root frame");
+    Frame F = Stack.back();
+    Stack.pop_back();
+    Stack.back().Hier += F.Hier;
+    for (TrackerListener *L : Listeners)
+      L->onEdgeEnd(F.EdgeFrom, F.Node, F.Hier);
+  }
+
+  /// Pops loop frames whose static region no longer contains \p Blk.
+  void maintainLoops(const LoweredBlock &Blk);
+
+  const Binary &B;
+  const LoopIndex &Loops;
+  const CallLoopGraph &G;
+  std::vector<TrackerListener *> Listeners;
+  std::vector<Frame> Stack;
+  std::vector<uint32_t> ActiveDepth; ///< Per function activation count.
+};
+
+} // namespace spm
+
+#endif // SPM_CALLLOOP_TRACKER_H

@@ -1,0 +1,190 @@
+//===- ir/Binary.h - Lowered binary images ----------------------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Binary is what lowering a SourceProgram produces: per-function basic
+/// blocks with concrete addresses, instruction mixes, and terminators, plus
+/// an executable tree the VM walks. Loops exist in the binary only as
+/// backward conditional branches, exactly as the paper's ATOM-based profiler
+/// sees them ("we identify loop back edges by looking for
+/// non-interprocedural backwards branches"; a loop is the static code region
+/// from the backward branch to its target). Each block remembers the source
+/// statement it was lowered from, which is how markers map across different
+/// compilations of the same source (Sec. 5.3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_IR_BINARY_H
+#define SPM_IR_BINARY_H
+
+#include "ir/Opcode.h"
+#include "ir/SourceProgram.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spm {
+
+/// What ends a basic block.
+struct Terminator {
+  enum class Kind : uint8_t {
+    Fallthrough, ///< Straight-line continuation.
+    BackBranch,  ///< Conditional backward branch (loop latch).
+    CondForward, ///< Conditional forward branch (if).
+    Call,        ///< Procedure call; execution resumes after it returns.
+    Ret,         ///< Procedure return.
+  };
+
+  Kind K = Kind::Fallthrough;
+  uint64_t TargetAddr = 0; ///< Branch target (BackBranch/CondForward).
+};
+
+/// Structural role of a block (debugging / printing only; analyses use the
+/// terminators and addresses, never this field).
+enum class BlockRole : uint8_t {
+  Entry,
+  Straight,
+  LoopHeader,
+  LoopLatch,
+  CondHead,
+  CallSite,
+  Exit,
+};
+
+/// One lowered basic block.
+struct LoweredBlock {
+  uint64_t Addr = 0;       ///< Address of the first instruction.
+  uint32_t GlobalId = 0;   ///< Index into Binary::Blocks (BBV dimension).
+  uint32_t FuncId = 0;
+  uint32_t NumInstrs = 0;  ///< Total instructions (== Mix.total()).
+  OpMix Mix;
+  uint32_t SrcStmtId = ~0u; ///< Statement this block was lowered from.
+  BlockRole Role = BlockRole::Straight;
+  Terminator Term;
+  /// Memory accesses issued each time the block executes. SiteIds index the
+  /// VM's per-site cursor state; assigned densely by the lowering pass.
+  std::vector<MemAccessSpec> MemOps;
+  uint32_t FirstMemSite = 0;
+
+  /// Address one past the last instruction (4 bytes per instruction).
+  uint64_t endAddr() const { return Addr + 4ull * NumInstrs; }
+  /// Address of the terminating instruction.
+  uint64_t termAddr() const {
+    return NumInstrs ? Addr + 4ull * (NumInstrs - 1) : Addr;
+  }
+};
+
+/// Executable node: the lowered, resolved mirror of a source statement.
+/// Stored by value in vectors (the tree is immutable after lowering).
+struct ExecNode {
+  enum class Kind : uint8_t { Code, Loop, If, Call };
+
+  Kind K = Kind::Code;
+  uint32_t Block = 0; ///< Code: the block; Loop: header; If: cond; Call: site.
+
+  // Loop.
+  uint32_t LatchBlock = 0;
+  TripCountSpec Trip;
+  uint32_t TripSite = 0;
+
+  // If.
+  CondSpec Cond;
+  uint32_t CondSite = 0;
+
+  // Call.
+  std::vector<CallStmt::Candidate> Candidates;
+  double CallProb = 1.0;
+  bool RoundRobin = false;
+  uint32_t RRSite = 0;
+
+  std::vector<ExecNode> Children;     ///< Loop body / If-then.
+  std::vector<ExecNode> ElseChildren; ///< If-else.
+};
+
+/// One lowered function.
+struct LoweredFunction {
+  std::string Name;
+  uint32_t Id = 0;
+  uint32_t EntryBlock = 0; ///< Global block index.
+  uint32_t ExitBlock = 0;
+  uint64_t BaseAddr = 0;
+  uint64_t EndAddr = 0;
+  std::vector<ExecNode> Body;
+};
+
+/// A lowered program image.
+class Binary {
+public:
+  std::string Name;          ///< "<program>@O<level>".
+  std::string SourceName;    ///< The source program's name.
+  int OptLevel = 0;
+  std::vector<LoweredBlock> Blocks;
+  std::vector<LoweredFunction> Funcs;
+  std::vector<MemRegionSpec> Regions;
+  uint32_t NumTripSites = 0;
+  uint32_t NumCondSites = 0;
+  uint32_t NumMemSites = 0;
+  uint32_t NumRRSites = 0;
+
+  const LoweredBlock &block(uint32_t Id) const {
+    assert(Id < Blocks.size() && "block id out of range");
+    return Blocks[Id];
+  }
+  const LoweredFunction &func(uint32_t Id) const {
+    assert(Id < Funcs.size() && "function id out of range");
+    return Funcs[Id];
+  }
+
+  /// Returns the global id of the block starting at \p Addr, or -1.
+  int32_t blockAt(uint64_t Addr) const;
+};
+
+/// A static loop recovered from the binary: the code region from a backward
+/// branch to its target (paper Sec. 4.2).
+struct StaticLoop {
+  uint32_t Id = 0;
+  uint32_t FuncId = 0;
+  uint32_t HeaderBlock = 0; ///< Global block id of the branch target.
+  uint32_t LatchBlock = 0;  ///< Global block id of the backward branch.
+  uint64_t HeaderAddr = 0;
+  uint64_t EndAddr = 0;     ///< End of the latch block (inclusive region).
+  uint32_t SrcStmtId = ~0u; ///< Source statement of the loop.
+
+  /// True when \p Addr lies in the loop's static region.
+  bool contains(uint64_t Addr) const {
+    return Addr >= HeaderAddr && Addr < EndAddr;
+  }
+};
+
+/// Loop table for a binary plus a header-block lookup.
+class LoopIndex {
+public:
+  /// Recovers loops by scanning the binary for backward branches.
+  static LoopIndex build(const Binary &B);
+
+  const std::vector<StaticLoop> &loops() const { return Loops; }
+  size_t size() const { return Loops.size(); }
+  const StaticLoop &loop(uint32_t Id) const {
+    assert(Id < Loops.size() && "loop id out of range");
+    return Loops[Id];
+  }
+
+  /// Returns the loop id whose header is block \p GlobalBlockId, or -1.
+  int32_t headerLoop(uint32_t GlobalBlockId) const {
+    assert(GlobalBlockId < HeaderOf.size() && "block id out of range");
+    return HeaderOf[GlobalBlockId];
+  }
+
+private:
+  std::vector<StaticLoop> Loops;
+  std::vector<int32_t> HeaderOf;
+};
+
+} // namespace spm
+
+#endif // SPM_IR_BINARY_H

@@ -1,0 +1,190 @@
+//===- ir/Builder.h - Fluent construction of source programs ---*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ProgramBuilder / FunctionBuilder give the workload generators a compact
+/// structured-programming surface: declare functions and regions up front
+/// (so mutual recursion works), then define bodies with nested loop/if/call
+/// lambdas. The builder assigns the stable StmtIds that act as source line
+/// numbers for cross-binary marker mapping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_IR_BUILDER_H
+#define SPM_IR_BUILDER_H
+
+#include "ir/SourceProgram.h"
+
+#include <functional>
+
+namespace spm {
+
+class ProgramBuilder;
+
+/// Builds the body of one function. Obtained from ProgramBuilder::define().
+class FunctionBuilder {
+public:
+  /// Appends a straight-line code statement.
+  FunctionBuilder &code(uint32_t IntOps, uint32_t FpOps = 0,
+                        std::vector<MemAccessSpec> MemOps = {});
+
+  /// Appends a loop whose body is built by \p BuildBody.
+  FunctionBuilder &loop(TripCountSpec Trip,
+                        const std::function<void()> &BuildBody,
+                        uint32_t HeaderIntOps = 1);
+
+  /// Appends a two-way branch; \p BuildElse may be null for a one-armed if.
+  FunctionBuilder &branch(CondSpec Cond, const std::function<void()> &BuildThen,
+                          const std::function<void()> &BuildElse = nullptr);
+
+  /// Appends an unconditional direct call to function \p Callee.
+  FunctionBuilder &call(uint32_t Callee);
+
+  /// Appends a conditional direct call (taken with probability \p Prob).
+  FunctionBuilder &callIf(uint32_t Callee, double Prob);
+
+  /// Appends a dispatch site choosing among \p Candidates by weight, or
+  /// cyclically when \p RoundRobin is set.
+  FunctionBuilder &
+  callOneOf(std::vector<CallStmt::Candidate> Candidates,
+            bool RoundRobin = false, double Prob = 1.0);
+
+private:
+  friend class ProgramBuilder;
+  FunctionBuilder(SourceProgram &P, SourceFunction &F) : P(P), F(F) {
+    Stack.push_back(&F.Body);
+  }
+
+  StmtList &current() { return *Stack.back(); }
+  template <typename T> T *append();
+
+  SourceProgram &P;
+  SourceFunction &F;
+  std::vector<StmtList *> Stack;
+};
+
+/// Builds a whole source program.
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(std::string Name) {
+    Prog = std::make_unique<SourceProgram>();
+    Prog->Name = std::move(Name);
+  }
+
+  /// Declares a function and returns its index. Index 0 is the entry point.
+  uint32_t declare(std::string Name) {
+    auto F = std::make_unique<SourceFunction>();
+    F->Name = std::move(Name);
+    F->Id = static_cast<uint32_t>(Prog->Functions.size());
+    Prog->Functions.push_back(std::move(F));
+    return Prog->Functions.back()->Id;
+  }
+
+  /// Declares a memory region and returns its index.
+  uint32_t region(MemRegionSpec R) {
+    Prog->Regions.push_back(std::move(R));
+    return static_cast<uint32_t>(Prog->Regions.size() - 1);
+  }
+
+  /// Defines the body of a previously declared function.
+  void define(uint32_t Func, const std::function<void(FunctionBuilder &)> &Fn) {
+    assert(Func < Prog->Functions.size() && "undeclared function");
+    FunctionBuilder FB(*Prog, *Prog->Functions[Func]);
+    Fn(FB);
+  }
+
+  /// Convenience: declare + define in one step.
+  uint32_t function(std::string Name,
+                    const std::function<void(FunctionBuilder &)> &Fn) {
+    uint32_t Id = declare(std::move(Name));
+    define(Id, Fn);
+    return Id;
+  }
+
+  /// Relinquishes the finished program.
+  std::unique_ptr<SourceProgram> take() { return std::move(Prog); }
+
+private:
+  std::unique_ptr<SourceProgram> Prog;
+};
+
+//===----------------------------------------------------------------------===//
+// Inline implementation
+//===----------------------------------------------------------------------===//
+
+template <typename T> T *FunctionBuilder::append() {
+  auto S = std::make_unique<T>();
+  S->setStmtId(P.takeStmtId());
+  T *Raw = S.get();
+  current().push_back(std::move(S));
+  return Raw;
+}
+
+inline FunctionBuilder &FunctionBuilder::code(uint32_t IntOps, uint32_t FpOps,
+                                              std::vector<MemAccessSpec> Mem) {
+  auto *S = append<CodeStmt>();
+  S->IntOps = IntOps;
+  S->FpOps = FpOps;
+  S->MemOps = std::move(Mem);
+  return *this;
+}
+
+inline FunctionBuilder &
+FunctionBuilder::loop(TripCountSpec Trip, const std::function<void()> &Body,
+                      uint32_t HeaderIntOps) {
+  auto *S = append<LoopStmt>();
+  S->Trip = std::move(Trip);
+  S->HeaderIntOps = HeaderIntOps;
+  Stack.push_back(&S->Body);
+  Body();
+  Stack.pop_back();
+  return *this;
+}
+
+inline FunctionBuilder &
+FunctionBuilder::branch(CondSpec Cond, const std::function<void()> &BuildThen,
+                        const std::function<void()> &BuildElse) {
+  auto *S = append<IfStmt>();
+  S->Cond = Cond;
+  Stack.push_back(&S->Then);
+  BuildThen();
+  Stack.pop_back();
+  if (BuildElse) {
+    Stack.push_back(&S->Else);
+    BuildElse();
+    Stack.pop_back();
+  }
+  return *this;
+}
+
+inline FunctionBuilder &FunctionBuilder::call(uint32_t Callee) {
+  auto *S = append<CallStmt>();
+  S->Candidates.push_back({Callee, 1});
+  return *this;
+}
+
+inline FunctionBuilder &FunctionBuilder::callIf(uint32_t Callee, double Prob) {
+  auto *S = append<CallStmt>();
+  S->Candidates.push_back({Callee, 1});
+  S->Prob = Prob;
+  return *this;
+}
+
+inline FunctionBuilder &
+FunctionBuilder::callOneOf(std::vector<CallStmt::Candidate> Candidates,
+                           bool RoundRobin, double Prob) {
+  assert(!Candidates.empty() && "dispatch site with no candidates");
+  auto *S = append<CallStmt>();
+  S->Candidates = std::move(Candidates);
+  S->RoundRobin = RoundRobin;
+  S->Prob = Prob;
+  return *this;
+}
+
+} // namespace spm
+
+#endif // SPM_IR_BUILDER_H

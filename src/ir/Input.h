@@ -1,0 +1,71 @@
+//===- ir/Input.h - Workload inputs -----------------------------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A WorkloadInput plays the role of a SPEC input set ("train" vs "ref"):
+/// a named bag of integer parameters (loop trip counts, region sizes,
+/// message counts, ...) plus the seed of the program's pseudo-random input
+/// data. The paper selects markers on the train input and applies them to
+/// the ref input (cross-train); the two inputs of each workload differ only
+/// in these parameters, never in program structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_IR_INPUT_H
+#define SPM_IR_INPUT_H
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace spm {
+
+/// A concrete input for a workload program.
+class WorkloadInput {
+public:
+  WorkloadInput() = default;
+  WorkloadInput(std::string Name, uint64_t Seed)
+      : Name(std::move(Name)), Seed(Seed) {}
+
+  /// Sets parameter \p Key to \p Value, returning *this for chaining.
+  WorkloadInput &set(const std::string &Key, int64_t Value) {
+    Params[Key] = Value;
+    return *this;
+  }
+
+  /// Returns the value of \p Key; asserts if absent (every program declares
+  /// the parameters it reads, so a miss is a programming error).
+  int64_t get(const std::string &Key) const {
+    auto It = Params.find(Key);
+    assert(It != Params.end() && "workload input parameter not set");
+    return It->second;
+  }
+
+  /// Returns the value of \p Key or \p Default when absent.
+  int64_t getOr(const std::string &Key, int64_t Default) const {
+    auto It = Params.find(Key);
+    return It == Params.end() ? Default : It->second;
+  }
+
+  bool has(const std::string &Key) const { return Params.count(Key) != 0; }
+
+  const std::string &name() const { return Name; }
+  uint64_t seed() const { return Seed; }
+  void setSeed(uint64_t S) { Seed = S; }
+
+  const std::map<std::string, int64_t> &params() const { return Params; }
+
+private:
+  std::string Name = "default";
+  uint64_t Seed = 1;
+  std::map<std::string, int64_t> Params;
+};
+
+} // namespace spm
+
+#endif // SPM_IR_INPUT_H

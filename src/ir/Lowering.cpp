@@ -1,0 +1,233 @@
+//===- ir/Lowering.cpp ----------------------------------------------------==//
+
+#include "ir/Lowering.h"
+
+#include <algorithm>
+
+using namespace spm;
+
+int32_t Binary::blockAt(uint64_t Addr) const {
+  auto It = std::lower_bound(
+      Blocks.begin(), Blocks.end(), Addr,
+      [](const LoweredBlock &B, uint64_t A) { return B.Addr < A; });
+  if (It == Blocks.end() || It->Addr != Addr)
+    return -1;
+  return static_cast<int32_t>(It->GlobalId);
+}
+
+LoopIndex LoopIndex::build(const Binary &B) {
+  LoopIndex LI;
+  LI.HeaderOf.assign(B.Blocks.size(), -1);
+  for (const LoweredBlock &Blk : B.Blocks) {
+    if (Blk.Term.K != Terminator::Kind::BackBranch)
+      continue;
+    assert(Blk.Term.TargetAddr < Blk.Addr &&
+           "back branch must target a lower address");
+    int32_t Header = B.blockAt(Blk.Term.TargetAddr);
+    assert(Header >= 0 && "back branch target is not a block start");
+    StaticLoop L;
+    L.Id = static_cast<uint32_t>(LI.Loops.size());
+    L.FuncId = Blk.FuncId;
+    L.HeaderBlock = static_cast<uint32_t>(Header);
+    L.LatchBlock = Blk.GlobalId;
+    L.HeaderAddr = B.block(Header).Addr;
+    L.EndAddr = Blk.endAddr();
+    L.SrcStmtId = B.block(Header).SrcStmtId;
+    assert(LI.HeaderOf[Header] == -1 &&
+           "structured lowering emits one latch per header");
+    LI.HeaderOf[Header] = static_cast<int32_t>(L.Id);
+    LI.Loops.push_back(L);
+  }
+  return LI;
+}
+
+namespace {
+
+/// Carries the mutable state of one lowering run.
+class LoweringContext {
+public:
+  LoweringContext(const SourceProgram &P, const LoweringOptions &Opts,
+                  Binary &B)
+      : P(P), Opts(Opts), B(B) {}
+
+  void run() {
+    B.SourceName = P.Name;
+    B.Name = P.Name + "@O" + std::to_string(Opts.OptLevel);
+    B.OptLevel = Opts.OptLevel;
+    B.Regions = P.Regions;
+    B.Funcs.resize(P.Functions.size());
+    for (const auto &F : P.Functions)
+      lowerFunction(*F);
+  }
+
+private:
+  uint32_t expandInt(uint64_t Ops) const {
+    return static_cast<uint32_t>((Ops * Opts.IntExpandNum +
+                                  Opts.IntExpandDen - 1) /
+                                 Opts.IntExpandDen);
+  }
+  uint32_t expandFp(uint64_t Ops) const {
+    return static_cast<uint32_t>(
+        (Ops * Opts.FpExpandNum + Opts.FpExpandDen - 1) / Opts.FpExpandDen);
+  }
+
+  /// Appends a block at the current address and returns its global id.
+  uint32_t makeBlock(uint32_t FuncId, BlockRole Role, OpMix Mix,
+                     uint32_t SrcStmtId, std::vector<MemAccessSpec> MemOps,
+                     Terminator Term) {
+    if (Mix.total() == 0)
+      Mix[OpClass::IntALU] = 1; // No empty blocks in a real binary.
+    LoweredBlock Blk;
+    Blk.Addr = CurAddr;
+    Blk.GlobalId = static_cast<uint32_t>(B.Blocks.size());
+    Blk.FuncId = FuncId;
+    Blk.Mix = Mix;
+    Blk.NumInstrs = Mix.total();
+    Blk.SrcStmtId = SrcStmtId;
+    Blk.Role = Role;
+    Blk.Term = Term;
+    Blk.FirstMemSite = B.NumMemSites;
+    B.NumMemSites += static_cast<uint32_t>(MemOps.size());
+    Blk.MemOps = std::move(MemOps);
+    CurAddr = Blk.endAddr();
+    B.Blocks.push_back(std::move(Blk));
+    return B.Blocks.back().GlobalId;
+  }
+
+  void lowerFunction(const SourceFunction &F) {
+    LoweredFunction &LF = B.Funcs[F.Id];
+    LF.Name = F.Name;
+    LF.Id = F.Id;
+    // One MiB per function keeps addresses strictly increasing by function
+    // id, so Binary::blockAt can binary-search globally.
+    LF.BaseAddr = 0x10000 + static_cast<uint64_t>(F.Id) * 0x100000;
+    CurAddr = LF.BaseAddr;
+
+    OpMix Entry;
+    Entry[OpClass::IntALU] = expandInt(F.PrologueIntOps) + Opts.BlockOverhead;
+    LF.EntryBlock = makeBlock(F.Id, BlockRole::Entry, Entry, ~0u, {},
+                              {Terminator::Kind::Fallthrough, 0});
+
+    lowerStmts(F.Body, LF.Body, F.Id);
+
+    OpMix Exit;
+    Exit[OpClass::IntALU] = 1 + Opts.BlockOverhead;
+    Exit[OpClass::Branch] = 1;
+    LF.ExitBlock = makeBlock(F.Id, BlockRole::Exit, Exit, ~0u, {},
+                             {Terminator::Kind::Ret, 0});
+    LF.EndAddr = CurAddr;
+  }
+
+  void lowerStmts(const StmtList &Stmts, std::vector<ExecNode> &Out,
+                  uint32_t FuncId) {
+    for (const StmtPtr &S : Stmts)
+      Out.push_back(lowerStmt(*S, FuncId));
+  }
+
+  ExecNode lowerStmt(const Stmt &S, uint32_t FuncId) {
+    switch (S.kind()) {
+    case Stmt::Kind::Code:
+      return lowerCode(static_cast<const CodeStmt &>(S), FuncId);
+    case Stmt::Kind::Loop:
+      return lowerLoop(static_cast<const LoopStmt &>(S), FuncId);
+    case Stmt::Kind::If:
+      return lowerIf(static_cast<const IfStmt &>(S), FuncId);
+    case Stmt::Kind::Call:
+      return lowerCall(static_cast<const CallStmt &>(S), FuncId);
+    }
+    assert(false && "unknown statement kind");
+    return ExecNode();
+  }
+
+  ExecNode lowerCode(const CodeStmt &S, uint32_t FuncId) {
+    OpMix Mix;
+    uint32_t DynAccesses = 0;
+    for (const MemAccessSpec &M : S.MemOps) {
+      Mix[M.IsStore ? OpClass::Store : OpClass::Load] += M.Count;
+      DynAccesses += M.Count;
+    }
+    Mix[OpClass::IntALU] = expandInt(S.IntOps) +
+                           Opts.MemOverhead * DynAccesses +
+                           Opts.BlockOverhead;
+    Mix[OpClass::FpALU] = expandFp(S.FpOps);
+
+    ExecNode N;
+    N.K = ExecNode::Kind::Code;
+    N.Block = makeBlock(FuncId, BlockRole::Straight, Mix, S.stmtId(),
+                        S.MemOps, {Terminator::Kind::Fallthrough, 0});
+    return N;
+  }
+
+  ExecNode lowerLoop(const LoopStmt &S, uint32_t FuncId) {
+    ExecNode N;
+    N.K = ExecNode::Kind::Loop;
+    N.Trip = S.Trip;
+    N.TripSite = B.NumTripSites++;
+
+    OpMix Header;
+    Header[OpClass::IntALU] =
+        expandInt(S.HeaderIntOps) + Opts.BlockOverhead;
+    N.Block = makeBlock(FuncId, BlockRole::LoopHeader, Header, S.stmtId(),
+                        {}, {Terminator::Kind::Fallthrough, 0});
+
+    lowerStmts(S.Body, N.Children, FuncId);
+
+    OpMix Latch;
+    Latch[OpClass::IntALU] = 1 + Opts.BlockOverhead;
+    Latch[OpClass::Branch] = 1;
+    N.LatchBlock =
+        makeBlock(FuncId, BlockRole::LoopLatch, Latch, S.stmtId(),
+                  {}, {Terminator::Kind::BackBranch, B.block(N.Block).Addr});
+    return N;
+  }
+
+  ExecNode lowerIf(const IfStmt &S, uint32_t FuncId) {
+    ExecNode N;
+    N.K = ExecNode::Kind::If;
+    N.Cond = S.Cond;
+    N.CondSite = B.NumCondSites++;
+
+    OpMix Cond;
+    Cond[OpClass::IntALU] = expandInt(1) + Opts.BlockOverhead;
+    Cond[OpClass::Branch] = 1;
+    N.Block = makeBlock(FuncId, BlockRole::CondHead, Cond, S.stmtId(), {},
+                        {Terminator::Kind::CondForward, 0});
+
+    lowerStmts(S.Then, N.Children, FuncId);
+    // The conditional branch skips the then-part: its target is wherever
+    // lowering resumed after the then-part (the else-part or the join).
+    B.Blocks[N.Block].Term.TargetAddr = CurAddr;
+    lowerStmts(S.Else, N.ElseChildren, FuncId);
+    return N;
+  }
+
+  ExecNode lowerCall(const CallStmt &S, uint32_t FuncId) {
+    ExecNode N;
+    N.K = ExecNode::Kind::Call;
+    N.Candidates = S.Candidates;
+    N.CallProb = S.Prob;
+    N.RoundRobin = S.RoundRobin;
+    N.RRSite = B.NumRRSites++;
+
+    OpMix Site;
+    Site[OpClass::IntALU] = Opts.CallOverhead + Opts.BlockOverhead;
+    Site[OpClass::Branch] = 1;
+    N.Block = makeBlock(FuncId, BlockRole::CallSite, Site, S.stmtId(), {},
+                        {Terminator::Kind::Call, 0});
+    return N;
+  }
+
+  const SourceProgram &P;
+  const LoweringOptions &Opts;
+  Binary &B;
+  uint64_t CurAddr = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Binary> spm::lower(const SourceProgram &P,
+                                   const LoweringOptions &Opts) {
+  auto B = std::make_unique<Binary>();
+  LoweringContext(P, Opts, *B).run();
+  return B;
+}

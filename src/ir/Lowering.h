@@ -1,0 +1,61 @@
+//===- ir/Lowering.h - Source-to-binary lowering ----------------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a SourceProgram into a Binary. Different LoweringOptions model
+/// different compilations of the same source: O0 expands each source
+/// operation into more instructions (spills, redundant address arithmetic)
+/// while O2 is tight. Both compilations preserve the dynamic structure
+/// (same calls, same loops, same memory accesses), so markers chosen on one
+/// binary can be re-anchored in the other by source statement id — the
+/// cross-binary mechanism of Sec. 5.3.1 / Fig. 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_IR_LOWERING_H
+#define SPM_IR_LOWERING_H
+
+#include "ir/Binary.h"
+#include "ir/SourceProgram.h"
+
+#include <memory>
+
+namespace spm {
+
+/// Knobs that differentiate compilations.
+struct LoweringOptions {
+  int OptLevel = 2;
+  uint32_t IntExpandNum = 1, IntExpandDen = 1; ///< Instrs per source int op.
+  uint32_t FpExpandNum = 1, FpExpandDen = 1;
+  uint32_t MemOverhead = 0;  ///< Extra int instrs per memory access.
+  uint32_t BlockOverhead = 0; ///< Extra int instrs per lowered block.
+  uint32_t CallOverhead = 1; ///< Extra int instrs per call site (arg setup).
+
+  /// Unoptimized compilation: roughly 2x the dynamic instruction count.
+  static LoweringOptions O0() {
+    LoweringOptions O;
+    O.OptLevel = 0;
+    O.IntExpandNum = 2;
+    O.FpExpandNum = 2;
+    O.MemOverhead = 2;
+    O.BlockOverhead = 2;
+    O.CallOverhead = 4;
+    return O;
+  }
+
+  /// Optimized compilation.
+  static LoweringOptions O2() { return LoweringOptions(); }
+};
+
+/// Lowers \p P into a binary image. The returned Binary does not reference
+/// \p P and may outlive it.
+std::unique_ptr<Binary> lower(const SourceProgram &P,
+                              const LoweringOptions &Opts);
+
+} // namespace spm
+
+#endif // SPM_IR_LOWERING_H

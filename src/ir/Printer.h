@@ -1,0 +1,33 @@
+//===- ir/Printer.h - Textual dumps of programs and binaries ----*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable dumps used by the explore_callloop example and by tests
+/// that assert on structural properties.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_IR_PRINTER_H
+#define SPM_IR_PRINTER_H
+
+#include <string>
+
+namespace spm {
+
+class SourceProgram;
+class Binary;
+
+/// Renders the structured source program as indented pseudo-code.
+std::string printProgram(const SourceProgram &P);
+
+/// Renders the lowered binary: one line per block with address, size, mix,
+/// role, terminator, and source statement.
+std::string printBinary(const Binary &B);
+
+} // namespace spm
+
+#endif // SPM_IR_PRINTER_H

@@ -1,0 +1,8 @@
+//===- ir/SourceProgram.cpp -----------------------------------------------==//
+
+#include "ir/SourceProgram.h"
+
+using namespace spm;
+
+// Out-of-line virtual method anchor.
+Stmt::~Stmt() = default;

@@ -1,0 +1,298 @@
+//===- ir/SourceProgram.h - Structured source programs ---------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "source language" of the workload programs: functions whose bodies
+/// are trees of structured statements (straight-line code, loops, branches,
+/// calls). A source program is compiled by ir/Lowering.h into one or more
+/// Binary images (different optimization levels produce different binaries
+/// from the same source, which Sec. 5.3.1 / Fig. 4 of the paper exploits).
+/// Every statement carries a stable StmtId: the stand-in for source line
+/// numbers, which is how phase markers are mapped across compilations.
+///
+/// Dynamic behavior (loop trip counts, branch outcomes, memory addresses) is
+/// specified declaratively via TripCountSpec / CondSpec / MemAccessSpec and
+/// evaluated by the VM from the input's deterministic random stream; this is
+/// the simulation-level substitute for real program data described in
+/// DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_IR_SOURCEPROGRAM_H
+#define SPM_IR_SOURCEPROGRAM_H
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spm {
+
+//===----------------------------------------------------------------------===//
+// Dynamic-behavior specifications
+//===----------------------------------------------------------------------===//
+
+/// How a loop's trip count is produced at each loop entry.
+struct TripCountSpec {
+  enum class Kind : uint8_t {
+    Constant,     ///< Always Value.
+    Uniform,      ///< Uniform integer in [Lo, Hi].
+    Param,        ///< Input parameter ParamName * Num / Den.
+    ParamUniform, ///< Uniform in [P*LoNum/Den, P*HiNum/Den], P = parameter.
+    Schedule,     ///< Cycles through Values (per-site cursor).
+  };
+
+  Kind K = Kind::Constant;
+  uint64_t Value = 1;
+  uint64_t Lo = 1, Hi = 1;
+  std::string ParamName;
+  uint64_t Num = 1, Den = 1;
+  uint64_t LoNum = 1, HiNum = 1;
+  std::vector<uint64_t> Values;
+
+  static TripCountSpec constant(uint64_t V) {
+    TripCountSpec S;
+    S.K = Kind::Constant;
+    S.Value = V;
+    return S;
+  }
+  static TripCountSpec uniform(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "bad uniform trip range");
+    TripCountSpec S;
+    S.K = Kind::Uniform;
+    S.Lo = Lo;
+    S.Hi = Hi;
+    return S;
+  }
+  static TripCountSpec param(std::string Name, uint64_t Num = 1,
+                             uint64_t Den = 1) {
+    assert(Den > 0 && "zero denominator");
+    TripCountSpec S;
+    S.K = Kind::Param;
+    S.ParamName = std::move(Name);
+    S.Num = Num;
+    S.Den = Den;
+    return S;
+  }
+  static TripCountSpec paramUniform(std::string Name, uint64_t LoNum,
+                                    uint64_t HiNum, uint64_t Den) {
+    assert(Den > 0 && LoNum <= HiNum && "bad paramUniform spec");
+    TripCountSpec S;
+    S.K = Kind::ParamUniform;
+    S.ParamName = std::move(Name);
+    S.LoNum = LoNum;
+    S.HiNum = HiNum;
+    S.Den = Den;
+    return S;
+  }
+  static TripCountSpec schedule(std::vector<uint64_t> Vals) {
+    assert(!Vals.empty() && "empty trip schedule");
+    TripCountSpec S;
+    S.K = Kind::Schedule;
+    S.Values = std::move(Vals);
+    return S;
+  }
+};
+
+/// How a two-way branch condition is produced at each evaluation.
+struct CondSpec {
+  enum class Kind : uint8_t {
+    Bernoulli, ///< True with probability P.
+    Periodic,  ///< True for the first TrueCount of every Period evaluations.
+  };
+
+  Kind K = Kind::Bernoulli;
+  double P = 0.5;
+  uint64_t Period = 2;
+  uint64_t TrueCount = 1;
+
+  static CondSpec bernoulli(double P) {
+    CondSpec S;
+    S.K = Kind::Bernoulli;
+    S.P = P;
+    return S;
+  }
+  static CondSpec periodic(uint64_t Period, uint64_t TrueCount) {
+    assert(Period > 0 && TrueCount <= Period && "bad periodic cond");
+    CondSpec S;
+    S.K = Kind::Periodic;
+    S.Period = Period;
+    S.TrueCount = TrueCount;
+    return S;
+  }
+};
+
+/// A named data region (array / heap object). Its size is either fixed or
+/// taken from an input parameter, so train and ref inputs can differ in
+/// working-set size.
+struct MemRegionSpec {
+  std::string Name;
+  uint64_t FixedSize = 0;     ///< Bytes; used when SizeParam is empty.
+  std::string SizeParam;      ///< Input parameter providing the size.
+  uint64_t SizeScale = 1;     ///< Multiplier applied to the parameter.
+
+  static MemRegionSpec fixed(std::string Name, uint64_t Bytes) {
+    MemRegionSpec R;
+    R.Name = std::move(Name);
+    R.FixedSize = Bytes;
+    return R;
+  }
+  static MemRegionSpec param(std::string Name, std::string ParamName,
+                             uint64_t Scale = 1) {
+    MemRegionSpec R;
+    R.Name = std::move(Name);
+    R.SizeParam = std::move(ParamName);
+    R.SizeScale = Scale;
+    return R;
+  }
+};
+
+/// Address pattern of one static memory instruction.
+struct MemAccessSpec {
+  enum class Pattern : uint8_t {
+    Sequential, ///< Walk the region with Stride, wrapping (per-site cursor).
+    Random,     ///< Uniform random block within the region.
+    Point,      ///< Always the fixed Offset (e.g. a global / top of stack).
+    Chase,      ///< Dependent random walk (pointer chasing); cache-wise like
+                ///< Random, kept distinct for documentation and CPI weight.
+  };
+
+  uint32_t RegionIdx = 0; ///< Index into Program::Regions.
+  Pattern Pat = Pattern::Sequential;
+  bool IsStore = false;
+  uint32_t Count = 1;      ///< Dynamic accesses per block execution.
+  uint64_t Stride = 8;     ///< For Sequential.
+  uint64_t Offset = 0;     ///< For Point.
+  /// For Random/Chase: restricts accesses to the first WorkingSetFrac/256 of
+  /// the region (256 = whole region). Lets one program phase touch a small
+  /// slice of a region while another touches all of it.
+  uint32_t WorkingSetFrac256 = 256;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+/// Base class of all structured statements. No RTTI: LLVM-style Kind tag.
+class Stmt {
+public:
+  enum class Kind : uint8_t { Code, Loop, If, Call };
+
+  virtual ~Stmt();
+
+  Kind kind() const { return K; }
+  /// Stable per-program statement id: the "source line number".
+  uint32_t stmtId() const { return Id; }
+  void setStmtId(uint32_t I) { Id = I; }
+
+protected:
+  explicit Stmt(Kind K) : K(K) {}
+
+private:
+  Kind K;
+  uint32_t Id = 0;
+};
+
+/// Straight-line code: an instruction mix plus memory access specs.
+class CodeStmt : public Stmt {
+public:
+  CodeStmt() : Stmt(Kind::Code) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Code; }
+
+  uint32_t IntOps = 0;
+  uint32_t FpOps = 0;
+  std::vector<MemAccessSpec> MemOps;
+};
+
+/// A counted loop. The body is a statement list; the trip count is evaluated
+/// once per loop entry. A trip count of zero skips the loop entirely.
+class LoopStmt : public Stmt {
+public:
+  LoopStmt() : Stmt(Kind::Loop) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Loop; }
+
+  TripCountSpec Trip;
+  StmtList Body;
+  /// Loop-control work charged to the header block each iteration.
+  uint32_t HeaderIntOps = 1;
+};
+
+/// A two-way branch.
+class IfStmt : public Stmt {
+public:
+  IfStmt() : Stmt(Kind::If) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+  CondSpec Cond;
+  StmtList Then;
+  StmtList Else;
+};
+
+/// A call site. Candidates lets one site model `if (cond) call X else call
+/// Y` dispatch (Fig. 1 of the paper) or an interpreter's indirect dispatch:
+/// a callee is chosen per execution by weight. Prob < 1 makes the whole call
+/// conditional (used for bounded recursion).
+class CallStmt : public Stmt {
+public:
+  CallStmt() : Stmt(Kind::Call) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Call; }
+
+  struct Candidate {
+    uint32_t Callee = 0; ///< Function index in the Program.
+    uint32_t Weight = 1;
+  };
+
+  std::vector<Candidate> Candidates;
+  double Prob = 1.0;       ///< Probability the call happens at all.
+  bool RoundRobin = false; ///< Cycle candidates instead of weighted random.
+};
+
+//===----------------------------------------------------------------------===//
+// Functions and programs
+//===----------------------------------------------------------------------===//
+
+/// A source function.
+class SourceFunction {
+public:
+  std::string Name;
+  uint32_t Id = 0;
+  StmtList Body;
+  /// Prologue/epilogue work charged to the entry and exit blocks.
+  uint32_t PrologueIntOps = 2;
+};
+
+/// A whole source program: functions (index 0 is main) + data regions.
+class SourceProgram {
+public:
+  std::string Name;
+  std::vector<std::unique_ptr<SourceFunction>> Functions;
+  std::vector<MemRegionSpec> Regions;
+  uint32_t NextStmtId = 0;
+
+  /// Allocates the next statement id (called by the builder).
+  uint32_t takeStmtId() { return NextStmtId++; }
+
+  const SourceFunction &main() const {
+    assert(!Functions.empty() && "program has no functions");
+    return *Functions.front();
+  }
+};
+
+} // namespace spm
+
+#endif // SPM_IR_SOURCEPROGRAM_H

@@ -1,0 +1,124 @@
+//===- markers/MarkerSet.cpp ----------------------------------------------==//
+
+#include "markers/MarkerSet.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace spm;
+
+namespace {
+
+PortableEndpoint endpointFor(NodeId N, const CallLoopGraph &G,
+                             const std::vector<std::string> &FuncNames) {
+  const CallLoopNode &Node = G.node(N);
+  PortableEndpoint E;
+  E.K = Node.K;
+  switch (Node.K) {
+  case NodeKind::Root:
+    break;
+  case NodeKind::ProcHead:
+  case NodeKind::ProcBody:
+    assert(Node.Index < FuncNames.size() && "function name table too short");
+    E.Func = FuncNames[Node.Index];
+    break;
+  case NodeKind::LoopHead:
+  case NodeKind::LoopBody:
+    E.LoopStmt = Node.SrcStmtId;
+    break;
+  }
+  return E;
+}
+
+/// Resolves a portable endpoint to a node id in \p G, or -1 when absent.
+int64_t resolve(const PortableEndpoint &E, const CallLoopGraph &G,
+                const std::map<std::string, uint32_t> &FuncByName,
+                const std::map<uint32_t, uint32_t> &LoopByStmt) {
+  switch (E.K) {
+  case NodeKind::Root:
+    return RootNode;
+  case NodeKind::ProcHead:
+  case NodeKind::ProcBody: {
+    auto It = FuncByName.find(E.Func);
+    if (It == FuncByName.end())
+      return -1;
+    return E.K == NodeKind::ProcHead ? G.procHead(It->second)
+                                     : G.procBody(It->second);
+  }
+  case NodeKind::LoopHead:
+  case NodeKind::LoopBody: {
+    auto It = LoopByStmt.find(E.LoopStmt);
+    if (It == LoopByStmt.end())
+      return -1;
+    return E.K == NodeKind::LoopHead ? G.loopHead(It->second)
+                                     : G.loopBody(It->second);
+  }
+  }
+  return -1;
+}
+
+} // namespace
+
+std::vector<PortableMarker>
+spm::toPortable(const MarkerSet &M, const CallLoopGraph &G,
+                const std::vector<std::string> &FuncNames) {
+  std::vector<PortableMarker> Out;
+  Out.reserve(M.size());
+  for (const Marker &Mk : M.markers()) {
+    PortableMarker P;
+    P.From = endpointFor(Mk.From, G, FuncNames);
+    P.To = endpointFor(Mk.To, G, FuncNames);
+    P.GroupN = Mk.GroupN;
+    Out.push_back(std::move(P));
+  }
+  return Out;
+}
+
+std::vector<PortableMarker> spm::toPortable(const MarkerSet &M,
+                                            const CallLoopGraph &G,
+                                            const Binary &B) {
+  std::vector<std::string> Names;
+  Names.reserve(B.Funcs.size());
+  for (const LoweredFunction &F : B.Funcs)
+    Names.push_back(F.Name);
+  return toPortable(M, G, Names);
+}
+
+MarkerSet spm::fromPortable(const std::vector<PortableMarker> &PM,
+                            const CallLoopGraph &G, const Binary &B,
+                            const LoopIndex &Loops) {
+  std::map<std::string, uint32_t> FuncByName;
+  for (const LoweredFunction &F : B.Funcs)
+    FuncByName[F.Name] = F.Id;
+  std::map<uint32_t, uint32_t> LoopByStmt;
+  for (const StaticLoop &L : Loops.loops())
+    LoopByStmt[L.SrcStmtId] = L.Id;
+
+  MarkerSet M;
+  for (const PortableMarker &P : PM) {
+    int64_t From = resolve(P.From, G, FuncByName, LoopByStmt);
+    int64_t To = resolve(P.To, G, FuncByName, LoopByStmt);
+    if (From < 0 || To < 0)
+      continue; // Construct compiled away in this binary.
+    Marker Mk;
+    Mk.From = static_cast<NodeId>(From);
+    Mk.To = static_cast<NodeId>(To);
+    Mk.GroupN = P.GroupN;
+    M.add(Mk);
+  }
+  return M;
+}
+
+std::string spm::printMarkers(const MarkerSet &M, const CallLoopGraph &G) {
+  std::string Out;
+  char Buf[192];
+  for (size_t I = 0; I < M.size(); ++I) {
+    const Marker &Mk = M[I];
+    std::snprintf(Buf, sizeof(Buf),
+                  "m%-3zu %-28s -> %-28s groupN=%-3u expectedLen=%.0f\n", I,
+                  G.node(Mk.From).Label.c_str(), G.node(Mk.To).Label.c_str(),
+                  Mk.GroupN, Mk.ExpectedLen);
+    Out += Buf;
+  }
+  return Out;
+}

@@ -1,0 +1,120 @@
+//===- markers/MarkerSet.h - Software phase marker sets ---------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A software phase marker is a call-loop-graph edge: instrumenting the code
+/// location where that edge is traversed (a call site, a loop entry, a loop
+/// back edge) signals the start of a new behavior interval. MarkerSet holds
+/// the selected edges for one binary, each with the iteration-grouping
+/// factor N of the Sec. 5.2 merging heuristic (N == 1 means fire on every
+/// traversal). PortableMarker is the source-level form — endpoints named by
+/// function name and source statement id instead of node ids — which is how
+/// markers move across compilations of the same source (Sec. 5.3.1): the
+/// paper's "map markers back to source code level using debug line number
+/// information".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_MARKERS_MARKERSET_H
+#define SPM_MARKERS_MARKERSET_H
+
+#include "callloop/Graph.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spm {
+
+/// One selected marker (binary-specific form).
+struct Marker {
+  NodeId From = 0;
+  NodeId To = 0;
+  /// Fire on every Nth traversal per enclosing entry (loop iteration
+  /// grouping); 1 for ungrouped markers.
+  uint32_t GroupN = 1;
+  /// Expected interval size: the edge's average hierarchical instruction
+  /// count times GroupN (diagnostic; re-derivable from the graph).
+  double ExpectedLen = 0.0;
+};
+
+/// The marker set for one binary. Marker indices are stable and serve as
+/// phase ids; the portable round-trip preserves them.
+class MarkerSet {
+public:
+  /// Adds a marker; returns its index. Duplicate (From,To) pairs assert.
+  int32_t add(Marker M) {
+    uint64_t K = key(M.From, M.To);
+    assert(!Index.count(K) && "duplicate marker edge");
+    Index[K] = static_cast<int32_t>(List.size());
+    List.push_back(M);
+    return static_cast<int32_t>(List.size()) - 1;
+  }
+
+  /// Index of the marker on edge (From,To), or -1.
+  int32_t indexOf(NodeId From, NodeId To) const {
+    auto It = Index.find(key(From, To));
+    return It == Index.end() ? -1 : It->second;
+  }
+
+  size_t size() const { return List.size(); }
+  bool empty() const { return List.empty(); }
+  const Marker &operator[](size_t I) const {
+    assert(I < List.size() && "marker index out of range");
+    return List[I];
+  }
+  const std::vector<Marker> &markers() const { return List; }
+
+private:
+  static uint64_t key(NodeId From, NodeId To) {
+    return (static_cast<uint64_t>(From) << 32) | To;
+  }
+  std::vector<Marker> List;
+  std::unordered_map<uint64_t, int32_t> Index;
+};
+
+/// Source-level endpoint of a portable marker.
+struct PortableEndpoint {
+  NodeKind K = NodeKind::Root;
+  std::string Func;        ///< Function name ("" for Root).
+  uint32_t LoopStmt = ~0u; ///< Loop source statement (loop nodes only).
+};
+
+/// A marker expressed in source terms, valid for any compilation of the
+/// same source program.
+struct PortableMarker {
+  PortableEndpoint From;
+  PortableEndpoint To;
+  uint32_t GroupN = 1;
+};
+
+/// Lowers \p M to source-level form using \p G / \p B (the binary the
+/// markers were selected on).
+std::vector<PortableMarker> toPortable(const MarkerSet &M,
+                                       const CallLoopGraph &G,
+                                       const Binary &B);
+
+/// Same, with an explicit function-name table (for markers selected from a
+/// deserialized profile, where no Binary is at hand).
+std::vector<PortableMarker>
+toPortable(const MarkerSet &M, const CallLoopGraph &G,
+           const std::vector<std::string> &FuncNames);
+
+/// Re-anchors portable markers in another compilation \p B (with graph
+/// numbering \p G and loops \p Loops). Markers whose endpoints do not exist
+/// in the target (e.g. a loop optimized away) are dropped; the relative
+/// order — and therefore the phase ids — of surviving markers is preserved.
+MarkerSet fromPortable(const std::vector<PortableMarker> &PM,
+                       const CallLoopGraph &G, const Binary &B,
+                       const LoopIndex &Loops);
+
+/// Renders a marker set as text (one line per marker).
+std::string printMarkers(const MarkerSet &M, const CallLoopGraph &G);
+
+} // namespace spm
+
+#endif // SPM_MARKERS_MARKERSET_H

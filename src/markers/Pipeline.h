@@ -1,0 +1,88 @@
+//===- markers/Pipeline.h - One-call profiling/marking runs -----*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience drivers that wire interpreter + tracker + marker runtime +
+/// performance model + interval builder in the correct observer order.
+/// Every experiment harness goes through these, so event-ordering
+/// subtleties live in exactly one place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_MARKERS_PIPELINE_H
+#define SPM_MARKERS_PIPELINE_H
+
+#include "callloop/Profile.h"
+#include "markers/MarkerSet.h"
+#include "markers/Runtime.h"
+#include "trace/Interval.h"
+#include "vm/Interpreter.h"
+
+#include <limits>
+#include <vector>
+
+namespace spm {
+
+/// Result of a marker-instrumented run.
+struct MarkerRun {
+  std::vector<IntervalRecord> Intervals;
+  /// Sequence of marker indices in firing order (the "phase marker trace"
+  /// compared across binaries in Sec. 5.3.1). Only filled when requested.
+  std::vector<int32_t> Firings;
+  RunResult Run;
+};
+
+/// Runs \p B on \p In with fixed-length intervals of \p Len instructions.
+inline std::vector<IntervalRecord>
+runFixedIntervals(const Binary &B, const WorkloadInput &In, uint64_t Len,
+                  bool CollectBbv,
+                  uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max(),
+                  const PerfModelOptions &PerfOpts = PerfModelOptions()) {
+  PerfModel Perf(PerfOpts);
+  IntervalBuilder Ivb = IntervalBuilder::fixedLength(Len, &Perf, CollectBbv);
+  ObserverMux Mux;
+  Mux.add(&Ivb);
+  Mux.add(&Perf);
+  Interpreter Interp(B, In);
+  Interp.run(Mux, MaxInstrs);
+  return Ivb.takeIntervals();
+}
+
+/// Runs \p B on \p In with the markers of \p M cutting variable-length
+/// intervals. \p G and \p Loops must belong to \p B.
+inline MarkerRun
+runMarkerIntervals(const Binary &B, const LoopIndex &Loops,
+                   const CallLoopGraph &G, const MarkerSet &M,
+                   const WorkloadInput &In, bool CollectBbv,
+                   bool RecordFirings = false,
+                   uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max(),
+                   const PerfModelOptions &PerfOpts = PerfModelOptions()) {
+  MarkerRun Out;
+  PerfModel Perf(PerfOpts);
+  IntervalBuilder Ivb = IntervalBuilder::markerDriven(&Perf, CollectBbv);
+  CallLoopTracker Tracker(B, Loops, G);
+  MarkerRuntime Runtime(M, G);
+  Tracker.addListener(&Runtime);
+  Runtime.setCallback([&](int32_t Idx) {
+    Ivb.requestCut(Idx);
+    if (RecordFirings)
+      Out.Firings.push_back(Idx);
+  });
+
+  ObserverMux Mux;
+  Mux.add(&Tracker); // Fires markers first...
+  Mux.add(&Ivb);     // ...so cuts precede interval accounting...
+  Mux.add(&Perf);    // ...which precedes counter updates.
+  Interpreter Interp(B, In);
+  Out.Run = Interp.run(Mux, MaxInstrs);
+  Out.Intervals = Ivb.takeIntervals();
+  return Out;
+}
+
+} // namespace spm
+
+#endif // SPM_MARKERS_PIPELINE_H

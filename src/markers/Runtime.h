@@ -1,0 +1,81 @@
+//===- markers/Runtime.h - Online marker firing ----------------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MarkerRuntime is the deployed form of a marker set: the lightweight
+/// instrumentation a binary-rewriting tool (OM/ALTO in the paper) would
+/// insert. It listens to the call-loop tracker's edge-begin events and
+/// fires a callback whenever a marked edge is traversed — honoring each
+/// marker's iteration-grouping factor N, whose per-entry counter resets at
+/// every loop entry so grouping is aligned to entries, as Sec. 5.2
+/// describes. Firing order across two compilations of the same source is
+/// identical, which is what makes marker-defined simulation points
+/// cross-binary portable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_MARKERS_RUNTIME_H
+#define SPM_MARKERS_RUNTIME_H
+
+#include "callloop/Tracker.h"
+#include "markers/MarkerSet.h"
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace spm {
+
+/// Fires callbacks when markers execute.
+class MarkerRuntime : public TrackerListener {
+public:
+  using FireCallback = std::function<void(int32_t MarkerIdx)>;
+
+  MarkerRuntime(const MarkerSet &M, const CallLoopGraph &G) : M(M) {
+    GroupCounter.assign(M.size(), 0);
+    for (size_t I = 0; I < M.size(); ++I) {
+      const Marker &Mk = M[I];
+      if (Mk.GroupN > 1 && G.node(Mk.From).K == NodeKind::LoopHead)
+        ResetOnEntry[Mk.From].push_back(static_cast<int32_t>(I));
+    }
+  }
+
+  void setCallback(FireCallback CB) { Callback = std::move(CB); }
+
+  void onEdgeBegin(NodeId From, NodeId To) override {
+    // A traversal into a loop head is a loop entry: re-align the grouping
+    // counters of that loop's grouped markers.
+    auto RIt = ResetOnEntry.find(To);
+    if (RIt != ResetOnEntry.end())
+      for (int32_t Idx : RIt->second)
+        GroupCounter[Idx] = 0;
+
+    int32_t Idx = M.indexOf(From, To);
+    if (Idx < 0)
+      return;
+    const Marker &Mk = M[Idx];
+    if (Mk.GroupN > 1 && (GroupCounter[Idx]++ % Mk.GroupN) != 0)
+      return;
+    ++Fired;
+    if (Callback)
+      Callback(Idx);
+  }
+
+  /// Total marker firings so far.
+  uint64_t fireCount() const { return Fired; }
+
+private:
+  const MarkerSet &M;
+  FireCallback Callback;
+  std::vector<uint64_t> GroupCounter;
+  std::unordered_map<NodeId, std::vector<int32_t>> ResetOnEntry;
+  uint64_t Fired = 0;
+};
+
+} // namespace spm
+
+#endif // SPM_MARKERS_RUNTIME_H

@@ -1,0 +1,273 @@
+//===- markers/Selector.cpp -----------------------------------------------==//
+
+#include "markers/Selector.h"
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+using namespace spm;
+
+std::vector<int32_t> spm::estimateMaxDepths(const CallLoopGraph &G) {
+  std::vector<int32_t> Depth(G.numNodes(), -1);
+  std::vector<bool> OnPath(G.numNodes(), false);
+
+  // Modified DFS: re-traverse a node when a strictly longer path reaches
+  // it, never re-enter a node on the current path (handles recursion
+  // cycles). Termination: depths only grow and are bounded by the number
+  // of nodes (paths are simple).
+  std::function<void(NodeId, int32_t)> Visit = [&](NodeId N, int32_t D) {
+    if (OnPath[N])
+      return;
+    if (D <= Depth[N])
+      return;
+    Depth[N] = D;
+    OnPath[N] = true;
+    for (const CallLoopEdge *E : G.outgoing(N))
+      Visit(E->To, D + 1);
+    OnPath[N] = false;
+  };
+  Visit(RootNode, 0);
+  return Depth;
+}
+
+uint32_t spm::chooseGroupingFactor(double AvgIterLen, double AvgIters,
+                                   uint64_t ILower, uint64_t MaxLimit) {
+  assert(AvgIterLen > 0 && "grouping needs a positive iteration length");
+  auto NMin = static_cast<uint64_t>(
+      std::ceil(static_cast<double>(ILower) / AvgIterLen));
+  if (NMin < 1)
+    NMin = 1;
+  auto NMax = static_cast<uint64_t>(
+      std::floor(static_cast<double>(MaxLimit) / AvgIterLen));
+  if (NMin > NMax)
+    return 0;
+  // Grouping only works within one loop entry: the per-entry counter
+  // realigns at each entry, so a loop with fewer iterations per entry than
+  // NMin can never accumulate an ilower-sized group — marking it would
+  // fire at every entry and shred execution. Reject; the loop-head edge
+  // (whole entry) is the right marker for such loops.
+  auto IterCap = static_cast<uint64_t>(std::ceil(AvgIters));
+  if (IterCap < NMin)
+    return 0;
+  if (IterCap < NMax)
+    NMax = IterCap;
+  // Bounded scan; the range is small because MaxLimit/ILower is a small
+  // ratio (20x in the paper's 10M..200M setting).
+  if (NMax - NMin > 4096)
+    NMax = NMin + 4096;
+
+  uint64_t Best = NMin;
+  double BestMod = std::fmod(AvgIters, static_cast<double>(NMin));
+  for (uint64_t N = NMin + 1; N <= NMax; ++N) {
+    double Mod = std::fmod(AvgIters, static_cast<double>(N));
+    if (Mod < BestMod) {
+      BestMod = Mod;
+      Best = N;
+    }
+  }
+  return static_cast<uint32_t>(Best);
+}
+
+namespace {
+
+/// Shared state of one selection run.
+class Selection {
+public:
+  Selection(const CallLoopGraph &G, const SelectorConfig &Config)
+      : G(G), Config(Config) {}
+
+  SelectionResult run() {
+    buildQueue();
+    collectCandidates();
+    applyThresholds();
+    return std::move(Result);
+  }
+
+private:
+  /// True when markers may be placed on edges into \p N under the
+  /// procedures-only ablation.
+  bool nodeEligible(NodeId N) const {
+    if (!Config.ProceduresOnly)
+      return true;
+    NodeKind K = G.node(N).K;
+    return K == NodeKind::ProcHead || K == NodeKind::ProcBody;
+  }
+
+  void buildQueue() {
+    std::vector<int32_t> Depth = estimateMaxDepths(G);
+    for (NodeId N = 0; N < G.numNodes(); ++N)
+      if (Depth[N] >= 0)
+        Queue.push_back(N);
+    // Decreasing estimated max depth; ties by increasing out-degree (leaf
+    // nodes first), then by id for determinism.
+    std::sort(Queue.begin(), Queue.end(), [&](NodeId A, NodeId B) {
+      if (Depth[A] != Depth[B])
+        return Depth[A] > Depth[B];
+      size_t OutA = G.outgoing(A).size(), OutB = G.outgoing(B).size();
+      if (OutA != OutB)
+        return OutA < OutB;
+      return A < B;
+    });
+  }
+
+  /// Pass 1: edges whose average hierarchical count meets ilower.
+  void collectCandidates() {
+    RunningStat CovStat;
+    for (NodeId N : Queue) {
+      if (!nodeEligible(N))
+        continue;
+      for (const CallLoopEdge *E : G.incoming(N)) {
+        if (E->Hier.mean() < static_cast<double>(Config.ILower))
+          continue;
+        Candidates.push_back(E);
+        // Edges traversed once have a degenerate CoV of zero; they may
+        // still become markers but must not dilute the variability
+        // statistics the per-program threshold is derived from.
+        if (E->Hier.count() >= 2)
+          CovStat.add(E->Hier.cov());
+        if (E->Hier.mean() > MaxCandidateA)
+          MaxCandidateA = E->Hier.mean();
+      }
+    }
+    Result.NumCandidates = Candidates.size();
+    Result.AvgCandidateCov = CovStat.mean();
+    Result.StddevCandidateCov = CovStat.stddev();
+  }
+
+  /// The per-edge CoV threshold: between avg(CoV) and avg(CoV)+stddev(CoV)
+  /// over the candidates, scaled linearly with the edge's average
+  /// hierarchical count. The paper states the goal is to "encourage the
+  /// algorithm to pick edges with instruction counts close to ilower", so
+  /// the slack is maximal (avg+stddev) at A == ilower — small-granularity
+  /// edges naturally carry more variability — and tightens to avg(CoV) for
+  /// the largest candidates, which are inherently stable.
+  double covThreshold(const CallLoopEdge *E) const {
+    if (Config.FlatCovThreshold)
+      return Result.AvgCandidateCov;
+    double Lo = static_cast<double>(Config.ILower);
+    double Span = MaxCandidateA - Lo;
+    double T = Span > 0 ? (E->Hier.mean() - Lo) / Span : 0.0;
+    T = std::clamp(T, 0.0, 1.0);
+    return Result.AvgCandidateCov + Result.StddevCandidateCov * (1.0 - T);
+  }
+
+  void addMarker(const CallLoopEdge *E, uint32_t GroupN) {
+    if (Result.Markers.indexOf(E->From, E->To) >= 0)
+      return;
+    Marker M;
+    M.From = E->From;
+    M.To = E->To;
+    M.GroupN = GroupN;
+    M.ExpectedLen = E->Hier.mean() * GroupN;
+    Result.Markers.add(M);
+  }
+
+  /// Average iterations per entry for a loop-head node.
+  double avgItersPerEntry(const CallLoopEdge *HeadToBody) const {
+    uint64_t Entries = 0;
+    for (const CallLoopEdge *In : G.incoming(HeadToBody->From))
+      Entries += In->Hier.count();
+    if (Entries == 0)
+      return static_cast<double>(HeadToBody->Hier.count());
+    return static_cast<double>(HeadToBody->Hier.count()) /
+           static_cast<double>(Entries);
+  }
+
+  bool isHeadToBody(const CallLoopEdge *E) const {
+    return G.node(E->From).K == NodeKind::LoopHead &&
+           G.node(E->To).K == NodeKind::LoopBody;
+  }
+
+  /// Sec. 5.2 iteration merging: group N iterations of a stable loop into
+  /// one interval. Returns true when a grouped marker was placed.
+  bool tryGroupedLoopMarker(const CallLoopEdge *E) {
+    if (!isHeadToBody(E) || E->Hier.mean() <= 0)
+      return false;
+    double AvgIters = avgItersPerEntry(E);
+    uint32_t N;
+    if (Config.NaiveGrouping) {
+      N = static_cast<uint32_t>(std::ceil(
+          static_cast<double>(Config.ILower) / E->Hier.mean()));
+      if (E->Hier.mean() * N > static_cast<double>(Config.MaxLimit))
+        return false;
+    } else {
+      N = chooseGroupingFactor(E->Hier.mean(), AvgIters, Config.ILower,
+                               Config.MaxLimit);
+    }
+    if (N == 0)
+      return false;
+    addMarker(E, N);
+    return true;
+  }
+
+  /// Pass 2: threshold application plus the limit-mode heuristics.
+  void applyThresholds() {
+    for (NodeId N : Queue) {
+      for (const CallLoopEdge *E : G.incoming(N)) {
+        bool Eligible = nodeEligible(N);
+
+        if (Config.Limit &&
+            E->Hier.max() > static_cast<double>(Config.MaxLimit)) {
+          // The intervals on this path are too large to simulate; stop
+          // searching upward and cut at this node's outgoing edges, which
+          // fit under the limit.
+          for (const CallLoopEdge *Out : G.outgoing(N)) {
+            if (!nodeEligible(Out->To))
+              continue;
+            if (Out->Hier.max() > static_cast<double>(Config.MaxLimit))
+              continue; // Its own subtree was already cut (children first).
+            if (Result.Markers.indexOf(Out->From, Out->To) >= 0)
+              continue;
+            // Small stable loops still get grouped; everything else cuts
+            // on every traversal.
+            if (isHeadToBody(Out) &&
+                Out->Hier.mean() < static_cast<double>(Config.ILower)) {
+              if (!tryGroupedLoopMarker(Out))
+                addMarker(Out, 1);
+            } else {
+              addMarker(Out, 1);
+            }
+            ++Result.NumForcedCuts;
+          }
+          continue;
+        }
+
+        if (!Eligible)
+          continue;
+
+        double A = E->Hier.mean();
+        if (A >= static_cast<double>(Config.ILower)) {
+          if (E->Hier.cov() <= covThreshold(E))
+            addMarker(E, 1);
+          continue;
+        }
+
+        // Below ilower: only the limit-mode grouping heuristic can still
+        // make a marker out of a stable small loop.
+        if (Config.Limit && isHeadToBody(E) &&
+            E->Hier.cov() <= Result.AvgCandidateCov)
+          tryGroupedLoopMarker(E);
+      }
+    }
+  }
+
+  const CallLoopGraph &G;
+  const SelectorConfig &Config;
+  std::vector<NodeId> Queue;
+  std::vector<const CallLoopEdge *> Candidates;
+  double MaxCandidateA = 0.0;
+  SelectionResult Result;
+};
+
+} // namespace
+
+SelectionResult spm::selectMarkers(const CallLoopGraph &G,
+                                   const SelectorConfig &Config) {
+  assert(G.finalized() && "selector requires a finalized graph");
+  assert((!Config.Limit || Config.MaxLimit >= Config.ILower) &&
+         "max-limit below ilower");
+  return Selection(G, Config).run();
+}

@@ -1,0 +1,98 @@
+//===- markers/Selector.h - Phase marker selection (Sec. 5) -----*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's two-pass marker selection algorithm over the annotated
+/// call-loop graph:
+///
+///  Pass 1 estimates each node's maximum call-loop depth with a modified
+///  DFS (a node may be re-visited on a longer path, never on the current
+///  path), orders nodes by decreasing depth (ties: increasing out-degree),
+///  and collects as *candidates* the incoming edges whose average
+///  hierarchical instruction count A satisfies A >= ilower.
+///
+///  Pass 2 derives the per-program CoV threshold from the candidates: the
+///  threshold applied to an edge lies between avg(CoV) and
+///  avg(CoV)+stddev(CoV), scaled linearly with how far the edge's A has
+///  grown from ilower. Candidates whose CoV is below their threshold become
+///  markers.
+///
+/// SimPoint "limit" mode (Sec. 5.2) adds two steps to pass 2: when a node's
+/// incoming edge has a *maximum* hierarchical count above max-limit, the
+/// search stops on that path and the node's outgoing edges that fit the
+/// limit are marked instead (forced cuts that bound interval size); and
+/// loop-head->loop-body edges with stable iterations are grouped N
+/// iterations at a time, choosing N so that the average iterations-per-entry
+/// mod N is closest to zero while N*A lands between ilower and max-limit.
+///
+/// Complexity is O(E + N log N) amortized as the paper claims: the sort
+/// dominates; the modified DFS is output-bounded on these shallow graphs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_MARKERS_SELECTOR_H
+#define SPM_MARKERS_SELECTOR_H
+
+#include "callloop/Graph.h"
+#include "markers/MarkerSet.h"
+
+#include <cstdint>
+
+namespace spm {
+
+/// Tunables of the selection algorithm.
+struct SelectorConfig {
+  /// Minimum average instructions per interval (the paper's ilower; 10M for
+  /// SPEC-scale runs, scaled down ~1000x for our workloads).
+  uint64_t ILower = 10000;
+
+  /// Restricts markers to edges into procedure heads/bodies — the
+  /// procedures-only ablation of Figs. 7-10 (Huang-style analysis).
+  bool ProceduresOnly = false;
+
+  /// Enables the Sec. 5.2 SimPoint heuristics with the given maximum
+  /// interval size.
+  bool Limit = false;
+  uint64_t MaxLimit = 0;
+
+  /// Ablation knob: disables the linear avg..avg+stddev CoV scaling and
+  /// applies the flat avg(CoV) threshold to every edge.
+  bool FlatCovThreshold = false;
+
+  /// Ablation knob: replaces the mod-minimizing iteration-grouping divisor
+  /// with naive ceiling division ceil(ilower / A).
+  bool NaiveGrouping = false;
+};
+
+/// Selection outcome plus the diagnostics the paper discusses.
+struct SelectionResult {
+  MarkerSet Markers;
+  double AvgCandidateCov = 0.0;    ///< avg(CoV) over candidates.
+  double StddevCandidateCov = 0.0; ///< stddev(CoV) over candidates.
+  size_t NumCandidates = 0;
+  size_t NumForcedCuts = 0; ///< Limit-mode markers from oversized paths.
+};
+
+/// Runs the selection algorithm on a finalized graph.
+SelectionResult selectMarkers(const CallLoopGraph &G,
+                              const SelectorConfig &Config);
+
+/// Pass-1 helper, exposed for tests and the algorithm benchmarks: the
+/// estimated maximum depth of every node (modified DFS from the root), -1
+/// for unreachable nodes.
+std::vector<int32_t> estimateMaxDepths(const CallLoopGraph &G);
+
+/// Sec. 5.2 helper, exposed for tests: picks the iteration-grouping factor
+/// N for a loop with per-iteration average \p AvgIterLen and \p AvgIters
+/// iterations per entry, so that N*AvgIterLen lies in [ILower, MaxLimit]
+/// with AvgIters mod N closest to zero. Returns 0 when no N fits.
+uint32_t chooseGroupingFactor(double AvgIterLen, double AvgIters,
+                              uint64_t ILower, uint64_t MaxLimit);
+
+} // namespace spm
+
+#endif // SPM_MARKERS_SELECTOR_H

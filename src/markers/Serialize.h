@@ -1,0 +1,47 @@
+//===- markers/Serialize.h - Marker file format ------------------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization of portable marker sets, so markers selected in one
+/// session can be "inserted into the binary with a static or dynamic
+/// compiler or binary instrumentation" (Sec. 5) in another — the workflow
+/// the paper describes around OM/ALTO. One marker per line:
+///
+///   spm-markers v1
+///   # comment
+///   <fromKind> <fromName> <toKind> <toName> <groupN>
+///
+/// where Kind is one of root|phead|pbody|lhead|lbody, procedure endpoints
+/// are named by function name, and loop endpoints by source statement id
+/// (`s<N>`). Parsing is strict: any malformed line fails the whole load
+/// (a truncated marker file silently dropping markers would corrupt phase
+/// ids).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_MARKERS_SERIALIZE_H
+#define SPM_MARKERS_SERIALIZE_H
+
+#include "markers/MarkerSet.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spm {
+
+/// Renders portable markers in the v1 text format.
+std::string serializeMarkers(const std::vector<PortableMarker> &Markers);
+
+/// Parses the v1 text format. Returns std::nullopt and fills \p Error on
+/// any malformed input.
+std::optional<std::vector<PortableMarker>>
+parseMarkers(const std::string &Text, std::string *Error = nullptr);
+
+} // namespace spm
+
+#endif // SPM_MARKERS_SERIALIZE_H

@@ -1,0 +1,55 @@
+//===- phase/Metrics.cpp --------------------------------------------------==//
+
+#include "phase/Metrics.h"
+
+using namespace spm;
+
+std::vector<int32_t>
+spm::phasesFromRecords(const std::vector<IntervalRecord> &Ivs) {
+  std::vector<int32_t> Out;
+  Out.reserve(Ivs.size());
+  for (const IntervalRecord &R : Ivs)
+    Out.push_back(R.PhaseId);
+  return Out;
+}
+
+ClassificationSummary
+spm::summarizeClassification(const std::vector<IntervalRecord> &Ivs,
+                             const std::vector<int32_t> &PhaseOf,
+                             const MetricFn &Metric) {
+  assert(Ivs.size() == PhaseOf.size() &&
+         "one phase id per interval required");
+  ClassificationSummary S;
+  S.NumIntervals = Ivs.size();
+  if (Ivs.empty())
+    return S;
+
+  std::map<int32_t, WeightedStat> Phases;
+  uint64_t TotalInstrs = 0;
+  for (size_t I = 0; I < Ivs.size(); ++I) {
+    Phases[PhaseOf[I]].add(Metric(Ivs[I]),
+                           static_cast<double>(Ivs[I].NumInstrs));
+    TotalInstrs += Ivs[I].NumInstrs;
+  }
+
+  S.NumPhases = Phases.size();
+  S.AvgIntervalLen =
+      static_cast<double>(TotalInstrs) / static_cast<double>(Ivs.size());
+
+  double WeightedCov = 0.0;
+  for (const auto &[Id, Stat] : Phases) {
+    (void)Id;
+    WeightedCov += Stat.cov() * Stat.totalWeight();
+  }
+  S.OverallCov =
+      TotalInstrs ? WeightedCov / static_cast<double>(TotalInstrs) : 0.0;
+  return S;
+}
+
+double spm::wholeProgramCov(const std::vector<IntervalRecord> &Ivs,
+                            const MetricFn &Metric) {
+  WeightedStat Stat;
+  for (const IntervalRecord &R : Ivs)
+    Stat.add(Metric(R), static_cast<double>(R.NumInstrs));
+  return Stat.cov();
+}

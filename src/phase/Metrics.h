@@ -1,0 +1,70 @@
+//===- phase/Metrics.h - Phase classification metrics -----------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's evaluation metrics (Sec. 3.1): after classifying intervals
+/// into phases, compute for each phase the instruction-weighted average and
+/// standard deviation of a metric (CPI, DL1 miss rate, ...), take the
+/// per-phase Coefficient of Variation, and average the per-phase CoVs —
+/// weighted by each phase's share of executed instructions — into one
+/// overall CoV. Lower is more homogeneous. Because CoV alone can be gamed
+/// (N intervals in N phases gives zero), the summary also reports the
+/// number of intervals, number of phases, and average interval length
+/// (Figs. 7-9 report exactly these alongside the CoV).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_PHASE_METRICS_H
+#define SPM_PHASE_METRICS_H
+
+#include "support/Stats.h"
+#include "trace/Interval.h"
+
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace spm {
+
+/// Extracts the metric of interest from an interval.
+using MetricFn = std::function<double(const IntervalRecord &)>;
+
+/// CPI of an interval.
+inline double cpiMetric(const IntervalRecord &R) { return R.metrics().Cpi; }
+
+/// DL1 miss rate of an interval.
+inline double missRateMetric(const IntervalRecord &R) {
+  return R.metrics().L1MissRate;
+}
+
+/// Summary of one phase classification.
+struct ClassificationSummary {
+  size_t NumIntervals = 0;
+  size_t NumPhases = 0;
+  double AvgIntervalLen = 0.0; ///< Instructions per interval.
+  double OverallCov = 0.0;     ///< Weighted average of per-phase CoVs.
+};
+
+/// Computes the Sec. 3.1 summary. \p PhaseOf supplies the phase id of each
+/// interval; pass phasesFromRecords() to use the recorded marker ids.
+ClassificationSummary
+summarizeClassification(const std::vector<IntervalRecord> &Ivs,
+                        const std::vector<int32_t> &PhaseOf,
+                        const MetricFn &Metric);
+
+/// Phase ids straight from the records (marker-driven runs).
+std::vector<int32_t>
+phasesFromRecords(const std::vector<IntervalRecord> &Ivs);
+
+/// Whole-program CoV: every interval in one phase — the paper's
+/// "whole program" baseline bars of Fig. 9.
+double wholeProgramCov(const std::vector<IntervalRecord> &Ivs,
+                       const MetricFn &Metric);
+
+} // namespace spm
+
+#endif // SPM_PHASE_METRICS_H

@@ -1,0 +1,201 @@
+//===- reuse/ReuseMarkers.cpp ---------------------------------------------==//
+
+#include "reuse/ReuseMarkers.h"
+
+#include "reuse/Sequitur.h"
+#include "reuse/Wavelet.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace spm;
+
+std::vector<SignalBoundary>
+spm::detectBoundaries(const std::vector<double> &Signal,
+                      const ReuseMarkerConfig &Config) {
+  std::vector<SignalBoundary> Out;
+  if (Signal.size() < 4)
+    return Out;
+
+  RunningStat Global;
+  for (double S : Signal)
+    Global.add(S);
+  double Threshold = Config.BoundarySigma * Global.stddev();
+  if (Threshold <= 0)
+    return Out;
+  double Lo = Global.min(), Hi = Global.max();
+  double Span = Hi > Lo ? Hi - Lo : 1.0;
+
+  auto Quantize = [&](double V) {
+    auto L = static_cast<int64_t>((V - Lo) / Span * Config.QuantLevels);
+    if (L < 0)
+      L = 0;
+    if (L >= Config.QuantLevels)
+      L = Config.QuantLevels - 1;
+    return static_cast<uint32_t>(L);
+  };
+
+  // Segment-mean change detection. The label of a boundary is the
+  // quantized level of the *new* segment, estimated from a short lookahead
+  // so one noisy window cannot mislabel the phase.
+  auto LabelAt = [&](size_t I) {
+    double Sum = 0.0;
+    size_t N = 0;
+    for (size_t J = I; J < Signal.size() && J < I + 3; ++J, ++N)
+      Sum += Signal[J];
+    return Quantize(Sum / static_cast<double>(N));
+  };
+
+  double SegSum = Signal[0];
+  size_t SegLen = 1;
+  for (size_t I = 1; I < Signal.size(); ++I) {
+    double SegMean = SegSum / static_cast<double>(SegLen);
+    if (std::abs(Signal[I] - SegMean) > Threshold) {
+      Out.push_back({I, LabelAt(I)});
+      SegSum = Signal[I];
+      SegLen = 1;
+      continue;
+    }
+    SegSum += Signal[I];
+    ++SegLen;
+  }
+  return Out;
+}
+
+namespace {
+
+/// Shared back half of both selectors: credit blocks around boundaries
+/// and promote the gated best per label.
+ReuseMarkerSet creditAndSelect(const ReuseProfile &P,
+                               const std::vector<SignalBoundary> &Bs,
+                               const ReuseMarkerConfig &Config) {
+  ReuseMarkerSet M;
+  if (Bs.empty())
+    return M;
+
+  // Credit the blocks around each boundary to (label, block): the
+  // phase-entry block executes inside the transition window or at the tail
+  // of the previous one, so the union of both windows' block sets is
+  // credited once per boundary. Hot kernel blocks collect credit too and
+  // are killed by the fire-ratio gate below.
+  std::map<uint32_t, uint64_t> BoundariesPerLabel;
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> Credit; // (label,block).
+  for (const SignalBoundary &B : Bs) {
+    if (B.Window >= P.WindowBlocks.size())
+      continue;
+    ++BoundariesPerLabel[B.Label];
+    std::unordered_set<uint32_t> Around(P.WindowBlocks[B.Window].begin(),
+                                        P.WindowBlocks[B.Window].end());
+    if (B.Window > 0)
+      Around.insert(P.WindowBlocks[B.Window - 1].begin(),
+                    P.WindowBlocks[B.Window - 1].end());
+    for (uint32_t Block : Around)
+      ++Credit[{B.Label, Block}];
+  }
+
+  // Per label, promote the best block passing recall and fire-ratio gates.
+  std::unordered_set<uint32_t> Chosen;
+  for (const auto &[Label, NumB] : BoundariesPerLabel) {
+    if (NumB < Config.MinBoundaries)
+      continue;
+    uint32_t BestBlock = 0;
+    uint64_t BestCredit = 0;
+    uint64_t BestExecs = 0;
+    for (const auto &[Key, C] : Credit) {
+      if (Key.first != Label)
+        continue;
+      if (C < static_cast<uint64_t>(Config.MinRecall *
+                                    static_cast<double>(NumB)))
+        continue; // Not tied to this label's starts.
+      auto ExecIt = P.BlockExecs.find(Key.second);
+      uint64_t Execs = ExecIt == P.BlockExecs.end() ? 0 : ExecIt->second;
+      if (static_cast<double>(Execs) >
+          Config.MaxFireRatio * static_cast<double>(C))
+        continue; // Fires far too often elsewhere: would shred phases.
+      // Prefer higher recall, then the rarer (more precise) block.
+      if (C > BestCredit || (C == BestCredit && Execs < BestExecs)) {
+        BestCredit = C;
+        BestExecs = Execs;
+        BestBlock = Key.second;
+      }
+    }
+    if (BestCredit == 0)
+      continue;
+    if (!Chosen.insert(BestBlock).second)
+      continue;
+    M.Blocks.push_back(BestBlock);
+    M.Labels.push_back(Label);
+  }
+  return M;
+}
+
+} // namespace
+
+ReuseMarkerSet spm::selectReuseMarkers(const ReuseProfile &P,
+                                       const ReuseMarkerConfig &Config) {
+  return creditAndSelect(P, detectBoundaries(P.Signal, Config), Config);
+}
+
+ReuseMarkerSet spm::selectReuseMarkersShen(const ReuseProfile &P,
+                                           const ReuseMarkerConfig &Config) {
+  if (P.Signal.size() < 8)
+    return ReuseMarkerSet();
+
+  // 1. Wavelet-denoise the reuse signal (Shen: wavelet filtering removes
+  //    the fine-grained noise so only phase-scale shifts remain).
+  std::vector<double> Smooth =
+      waveletDenoise(P.Signal, /*Levels=*/2, /*ThresholdSigmas=*/1.0);
+
+  // 2. Quantize into phase labels.
+  double Lo = Smooth[0], Hi = Smooth[0];
+  for (double S : Smooth) {
+    Lo = std::min(Lo, S);
+    Hi = std::max(Hi, S);
+  }
+  double Span = Hi > Lo ? Hi - Lo : 1.0;
+  auto Quantize = [&](double V) {
+    auto L = static_cast<int64_t>((V - Lo) / Span * Config.QuantLevels);
+    return static_cast<uint32_t>(
+        std::clamp<int64_t>(L, 0, Config.QuantLevels - 1));
+  };
+
+  // 3. Run-length encode the label stream; each run is one phase segment.
+  std::vector<uint32_t> RleLabels;
+  std::vector<size_t> RleStartWindow;
+  for (size_t I = 0; I < Smooth.size(); ++I) {
+    uint32_t L = Quantize(Smooth[I]);
+    if (RleLabels.empty() || RleLabels.back() != L) {
+      RleLabels.push_back(L);
+      RleStartWindow.push_back(I);
+    }
+  }
+  if (RleLabels.size() < 4)
+    return ReuseMarkerSet(); // One flat phase: nothing to mark.
+
+  // 4. Sequitur over the segment-label stream. If the grammar does not
+  //    compress, the locality behavior has no recurring pattern and the
+  //    method gives up (Shen et al. "found it difficult to find structure
+  //    in more complex programs like gcc and vortex").
+  std::vector<int64_t> Stream(RleLabels.begin(), RleLabels.end());
+  std::vector<SequiturRule> Grammar = induceGrammar(Stream);
+  size_t GrammarSymbols = 0;
+  std::set<int64_t> RecurringLabels;
+  for (const SequiturRule &R : Grammar) {
+    GrammarSymbols += R.Symbols.size();
+    if (R.Id == 0 || R.Uses < 2)
+      continue;
+    for (int64_t T : R.Expansion)
+      RecurringLabels.insert(T);
+  }
+  if (GrammarSymbols * 3 > Stream.size() * 2)
+    return ReuseMarkerSet(); // < 1.5x compression: no structure.
+
+  // 5. Boundaries at the starts of segments whose label belongs to a
+  //    recurring pattern; credit and gate as usual.
+  std::vector<SignalBoundary> Bs;
+  for (size_t I = 1; I < RleLabels.size(); ++I)
+    if (RecurringLabels.count(RleLabels[I]))
+      Bs.push_back({RleStartWindow[I], RleLabels[I]});
+  return creditAndSelect(P, Bs, Config);
+}

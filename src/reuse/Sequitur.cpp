@@ -1,0 +1,288 @@
+//===- reuse/Sequitur.cpp -------------------------------------------------==//
+//
+// Implementation notes: the classic doubly-linked symbol list with a digram
+// index (Nevill-Manning & Witten). Deviation from the canonical C code:
+// each rule tracks its referencing symbols in a set, so the rule-utility
+// inlining (uses == 1) can run eagerly instead of lazily; sequences here
+// are phase-label streams of a few thousand symbols, so the extra
+// bookkeeping is irrelevant and the eager form is much easier to verify.
+// Tests validate the two grammar invariants and exact reconstruction on
+// random stress streams.
+//
+//===----------------------------------------------------------------------==//
+
+#include "reuse/Sequitur.h"
+
+#include <cassert>
+#include <set>
+
+using namespace spm;
+
+namespace {
+
+struct Rule;
+
+struct Sym {
+  Sym *Next = nullptr;
+  Sym *Prev = nullptr;
+  int64_t Term = 0;        ///< Terminal value (when Nt is null).
+  Rule *Nt = nullptr;      ///< Referenced rule (non-null => nonterminal).
+  Rule *GuardOf = nullptr; ///< Non-null => this is a rule's guard node.
+
+  bool isGuard() const { return GuardOf != nullptr; }
+};
+
+struct Rule {
+  uint32_t Id = 0;
+  Sym Guard;
+  uint64_t Uses = 0;
+  std::set<Sym *> Refs; ///< Nonterminal symbols referencing this rule.
+
+  explicit Rule(uint32_t Id) : Id(Id) {
+    Guard.GuardOf = this;
+    Guard.Next = &Guard;
+    Guard.Prev = &Guard;
+  }
+  Sym *first() { return Guard.Next; }
+  Sym *last() { return Guard.Prev; }
+  const Sym *first() const { return Guard.Next; }
+  bool empty() const { return Guard.Next == &Guard; }
+};
+
+using DigramKey = std::pair<int64_t, int64_t>;
+
+int64_t symKey(const Sym *S) {
+  // Nonterminals get keys disjoint from terminals (terminals are >= 0 by
+  // the public contract).
+  return S->Nt ? -static_cast<int64_t>(S->Nt->Id) - 1 : S->Term;
+}
+
+} // namespace
+
+struct Sequitur::Impl {
+  std::vector<std::unique_ptr<Rule>> Rules;
+  std::vector<std::unique_ptr<Sym>> Arena; ///< Owns all symbols ever made.
+  std::map<DigramKey, Sym *> Digrams;
+  uint32_t NextRuleId = 0;
+
+  Impl() { Rules.push_back(std::make_unique<Rule>(NextRuleId++)); }
+
+  Rule *start() { return Rules[0].get(); }
+
+  Sym *newTerminal(int64_t T) {
+    Arena.push_back(std::make_unique<Sym>());
+    Arena.back()->Term = T;
+    return Arena.back().get();
+  }
+
+  Sym *newNonterminal(Rule *R) {
+    Arena.push_back(std::make_unique<Sym>());
+    Arena.back()->Nt = R;
+    ++R->Uses;
+    R->Refs.insert(Arena.back().get());
+    return Arena.back().get();
+  }
+
+  static DigramKey keyOf(const Sym *S) { return {symKey(S), symKey(S->Next)}; }
+
+  /// Removes the index entry for the digram starting at \p S, if it is the
+  /// registered occurrence.
+  void forgetDigram(Sym *S) {
+    if (S->isGuard() || S->Next->isGuard())
+      return;
+    auto It = Digrams.find(keyOf(S));
+    if (It != Digrams.end() && It->second == S)
+      Digrams.erase(It);
+  }
+
+  /// Splices \p S into the list after \p Pos (digram index not touched).
+  static void insertAfter(Sym *Pos, Sym *S) {
+    S->Next = Pos->Next;
+    S->Prev = Pos;
+    Pos->Next->Prev = S;
+    Pos->Next = S;
+  }
+
+  /// Unlinks \p S from the list (digram index not touched).
+  static void unlink(Sym *S) {
+    S->Prev->Next = S->Next;
+    S->Next->Prev = S->Prev;
+    S->Next = S->Prev = nullptr;
+  }
+
+  /// Drops a nonterminal's reference; inlines the rule if one use remains.
+  void deuse(Sym *S) {
+    if (!S->Nt)
+      return;
+    Rule *R = S->Nt;
+    R->Refs.erase(S);
+    assert(R->Uses > 0 && "use count underflow");
+    if (--R->Uses == 1)
+      inlineRule(R);
+  }
+
+  /// Rule utility: \p R has exactly one remaining reference; splice its
+  /// body into that reference and retire the rule.
+  void inlineRule(Rule *R) {
+    assert(R->Uses == 1 && R->Refs.size() == 1 && "not inlinable");
+    Sym *Ref = *R->Refs.begin();
+    Sym *Prev = Ref->Prev;
+    Sym *Next = Ref->Next;
+
+    forgetDigram(Prev);
+    forgetDigram(Ref);
+    unlink(Ref);
+    R->Refs.clear();
+    R->Uses = 0;
+
+    if (!R->empty()) {
+      Sym *First = R->first();
+      Sym *Last = R->last();
+      // Detach the body from the guard and splice it in.
+      Prev->Next = First;
+      First->Prev = Prev;
+      Last->Next = Next;
+      Next->Prev = Last;
+      R->Guard.Next = &R->Guard;
+      R->Guard.Prev = &R->Guard;
+      // Internal digram entries remain valid; only the seams are new.
+      check(Prev);
+      check(Last);
+    } else {
+      Prev->Next = Next;
+      Next->Prev = Prev;
+      check(Prev);
+    }
+    // The Rule object stays in Rules as a tombstone (Uses == 0, empty);
+    // grammar() skips it. Reusing ids would corrupt digram keys.
+  }
+
+  /// Enforces digram uniqueness for the digram starting at \p S. Returns
+  /// true when a substitution happened.
+  bool check(Sym *S) {
+    if (S->isGuard() || S->Next->isGuard())
+      return false;
+    DigramKey K = keyOf(S);
+    auto [It, Inserted] = Digrams.try_emplace(K, S);
+    if (Inserted)
+      return false;
+    Sym *M = It->second;
+    if (M == S)
+      return false;
+    if (M->Next == S || S->Next == M)
+      return false; // Overlapping occurrences (aaa): leave as is.
+    match(S, M);
+    return true;
+  }
+
+  /// Both \p S and \p M start the same digram at distinct positions.
+  void match(Sym *S, Sym *M) {
+    Rule *R;
+    if (M->Prev->isGuard() && M->Next->Next->isGuard()) {
+      // The matching digram is exactly an existing rule's body.
+      R = M->Prev->GuardOf;
+      substitute(S, R);
+    } else {
+      // Make a new rule from the digram's two symbols.
+      Rules.push_back(std::make_unique<Rule>(NextRuleId++));
+      R = Rules.back().get();
+      Sym *A = S->Nt ? newNonterminal(S->Nt) : newTerminal(S->Term);
+      Sym *B =
+          S->Next->Nt ? newNonterminal(S->Next->Nt) : newTerminal(S->Next->Term);
+      insertAfter(&R->Guard, A);
+      insertAfter(A, B);
+      // Replace the older occurrence first (canonical order), then ours.
+      substitute(M, R);
+      substitute(S, R);
+      // Register the new rule's body digram.
+      Digrams[keyOf(R->first())] = R->first();
+    }
+  }
+
+  /// Replaces the digram at \p Pos with a nonterminal for \p R.
+  void substitute(Sym *Pos, Rule *R) {
+    Sym *A = Pos;
+    Sym *B = Pos->Next;
+    Sym *Prev = A->Prev;
+
+    forgetDigram(Prev);
+    forgetDigram(A);
+    forgetDigram(B);
+    unlink(B);
+    unlink(A);
+
+    Sym *Nt = newNonterminal(R);
+    insertAfter(Prev, Nt);
+
+    // Dropping A/B's references can inline other rules; those splices
+    // never touch Nt or Prev (A and B are already detached).
+    deuse(A);
+    deuse(B);
+
+    // Canonical ordering: if the left seam formed a digram that got
+    // substituted, the right seam no longer exists in this form.
+    if (!check(Nt->Prev))
+      check(Nt);
+  }
+
+  void append(int64_t T) {
+    assert(T >= 0 && "terminals must be non-negative");
+    Sym *S = newTerminal(T);
+    Sym *Last = start()->last();
+    insertAfter(Last, S);
+    if (!S->Prev->isGuard())
+      check(S->Prev);
+  }
+
+  void expandInto(const Rule *R, std::vector<int64_t> &Out) const {
+    for (const Sym *S = R->first(); !S->isGuard(); S = S->Next) {
+      if (S->Nt)
+        expandInto(S->Nt, Out);
+      else
+        Out.push_back(S->Term);
+    }
+  }
+};
+
+Sequitur::Sequitur() : P(std::make_unique<Impl>()) {}
+Sequitur::~Sequitur() = default;
+
+void Sequitur::append(int64_t Terminal) { P->append(Terminal); }
+
+size_t Sequitur::numRules() const {
+  size_t N = 0;
+  for (const auto &R : P->Rules)
+    N += R->Id == 0 || R->Uses > 0;
+  return N;
+}
+
+std::vector<SequiturRule> Sequitur::grammar() const {
+  std::vector<SequiturRule> Out;
+  for (const auto &R : P->Rules) {
+    if (R->Id != 0 && R->Uses == 0)
+      continue; // Inlined tombstone.
+    SequiturRule SR;
+    SR.Id = R->Id;
+    SR.Uses = R->Uses;
+    for (const Sym *S = R->first(); !S->isGuard(); S = S->Next)
+      SR.Symbols.push_back(S->Nt ? -static_cast<int64_t>(S->Nt->Id)
+                                 : S->Term);
+    P->expandInto(R.get(), SR.Expansion);
+    Out.push_back(std::move(SR));
+  }
+  return Out;
+}
+
+std::vector<int64_t> Sequitur::reconstruct() const {
+  std::vector<int64_t> Out;
+  P->expandInto(P->start(), Out);
+  return Out;
+}
+
+std::vector<SequiturRule>
+spm::induceGrammar(const std::vector<int64_t> &Sequence) {
+  Sequitur S;
+  for (int64_t T : Sequence)
+    S.append(T);
+  return S.grammar();
+}

@@ -1,0 +1,72 @@
+//===- reuse/Sequitur.h - Sequitur grammar induction ------------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Sequitur algorithm of Nevill-Manning & Witten ("Compression and
+/// explanation using hierarchical grammars", reference [21] of the paper):
+/// builds a context-free grammar from a sequence online, maintaining two
+/// invariants — *digram uniqueness* (no pair of adjacent symbols appears
+/// twice in the grammar) and *rule utility* (every rule is used at least
+/// twice). Shen et al. run Sequitur over their (wavelet-filtered) reuse
+/// signal to find the recurring locality patterns their markers anchor to;
+/// our reuse baseline uses it the same way (reuse/ReuseMarkers.h), and the
+/// paper also cites Sequitur as the engine of earlier VLI work [15].
+///
+/// Symbols are non-negative integers (terminals); rules are returned as
+/// expanded terminal strings plus occurrence counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_REUSE_SEQUITUR_H
+#define SPM_REUSE_SEQUITUR_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace spm {
+
+/// A rule of the induced grammar, reported in terminal-expanded form.
+struct SequiturRule {
+  uint32_t Id = 0;                ///< 0 is the start rule.
+  std::vector<int64_t> Symbols;   ///< Right-hand side; negative = -(rule id).
+  std::vector<int64_t> Expansion; ///< Fully expanded terminal string.
+  uint64_t Uses = 0;              ///< References from other rules (0 = start).
+};
+
+/// Online Sequitur grammar builder.
+class Sequitur {
+public:
+  Sequitur();
+  ~Sequitur();
+  Sequitur(const Sequitur &) = delete;
+  Sequitur &operator=(const Sequitur &) = delete;
+
+  /// Appends one terminal to the sequence.
+  void append(int64_t Terminal);
+
+  /// Extracts the grammar (start rule first). The builder remains usable.
+  std::vector<SequiturRule> grammar() const;
+
+  /// Number of rules (including the start rule).
+  size_t numRules() const;
+
+  /// Reconstructs the original sequence from the grammar (for validation).
+  std::vector<int64_t> reconstruct() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+};
+
+/// Convenience: induce a grammar over \p Sequence and return the rules.
+std::vector<SequiturRule> induceGrammar(const std::vector<int64_t> &Sequence);
+
+} // namespace spm
+
+#endif // SPM_REUSE_SEQUITUR_H

@@ -1,0 +1,112 @@
+//===- reuse/Wavelet.cpp --------------------------------------------------==//
+
+#include "reuse/Wavelet.h"
+
+#include "support/Stats.h"
+
+#include <cmath>
+
+using namespace spm;
+
+namespace {
+
+constexpr double InvSqrt2 = 0.70710678118654752440;
+
+std::vector<double> padded(const std::vector<double> &S) {
+  std::vector<double> P = S;
+  if (P.size() % 2)
+    P.push_back(P.back());
+  return P;
+}
+
+double softThreshold(double X, double T) {
+  if (X > T)
+    return X - T;
+  if (X < -T)
+    return X + T;
+  return 0.0;
+}
+
+double bandStddev(const std::vector<double> &Band) {
+  RunningStat S;
+  for (double X : Band)
+    S.add(X);
+  return S.stddev();
+}
+
+} // namespace
+
+HaarLevel spm::haarForward(const std::vector<double> &Signal) {
+  std::vector<double> P = padded(Signal);
+  HaarLevel L;
+  L.Approx.reserve(P.size() / 2);
+  L.Detail.reserve(P.size() / 2);
+  for (size_t I = 0; I + 1 < P.size(); I += 2) {
+    L.Approx.push_back((P[I] + P[I + 1]) * InvSqrt2);
+    L.Detail.push_back((P[I] - P[I + 1]) * InvSqrt2);
+  }
+  return L;
+}
+
+std::vector<double> spm::haarInverse(const std::vector<double> &Approx,
+                                     const std::vector<double> &Detail) {
+  std::vector<double> Out;
+  Out.reserve(Approx.size() * 2);
+  for (size_t I = 0; I < Approx.size(); ++I) {
+    double D = I < Detail.size() ? Detail[I] : 0.0;
+    Out.push_back((Approx[I] + D) * InvSqrt2);
+    Out.push_back((Approx[I] - D) * InvSqrt2);
+  }
+  return Out;
+}
+
+std::vector<double> spm::waveletDenoise(const std::vector<double> &Signal,
+                                        unsigned Levels,
+                                        double ThresholdSigmas) {
+  if (Signal.size() < 4 || Levels == 0)
+    return Signal;
+
+  // Decompose.
+  std::vector<std::vector<double>> Details;
+  std::vector<double> Approx = Signal;
+  for (unsigned L = 0; L < Levels && Approx.size() >= 2; ++L) {
+    HaarLevel Lv = haarForward(Approx);
+    Details.push_back(std::move(Lv.Detail));
+    Approx = std::move(Lv.Approx);
+  }
+
+  // Soft-threshold each detail band against its own scale.
+  for (std::vector<double> &Band : Details) {
+    double T = ThresholdSigmas * bandStddev(Band);
+    for (double &X : Band)
+      X = softThreshold(X, T);
+  }
+
+  // Reconstruct.
+  for (size_t L = Details.size(); L-- > 0;) {
+    Approx = haarInverse(Approx, Details[L]);
+  }
+  Approx.resize(Signal.size()); // Trim odd-length padding.
+  return Approx;
+}
+
+std::vector<size_t> spm::waveletEdges(const std::vector<double> &Signal,
+                                      double ThresholdSigmas) {
+  std::vector<size_t> Out;
+  if (Signal.size() < 4)
+    return Out;
+  // Undecimated (stationary) level-1 Haar detail: differences at every
+  // offset, not every second one. The decimated transform is blind to
+  // steps aligned on pair boundaries.
+  std::vector<double> Detail;
+  Detail.reserve(Signal.size() - 1);
+  for (size_t I = 0; I + 1 < Signal.size(); ++I)
+    Detail.push_back((Signal[I] - Signal[I + 1]) * 0.70710678118654752440);
+  double T = ThresholdSigmas * bandStddev(Detail);
+  if (T <= 0)
+    return Out;
+  for (size_t I = 0; I < Detail.size(); ++I)
+    if (std::abs(Detail[I]) > T)
+      Out.push_back(I);
+  return Out;
+}

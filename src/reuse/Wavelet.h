@@ -1,0 +1,56 @@
+//===- reuse/Wavelet.h - Haar wavelet analysis -------------------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Haar discrete wavelet transform (Cohen & Ryan, reference [3] of the
+/// paper). Shen et al. apply wavelet filtering to the reuse-distance trace
+/// before Sequitur pattern mining; this module provides the transform, its
+/// inverse, soft-threshold denoising, and a detail-coefficient edge
+/// detector used by the Shen-style variant of the reuse-marker baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_REUSE_WAVELET_H
+#define SPM_REUSE_WAVELET_H
+
+#include <cstddef>
+#include <vector>
+
+namespace spm {
+
+/// One level of the Haar DWT: averages (approximation) and differences
+/// (detail), both scaled by 1/sqrt(2) so the transform is orthonormal.
+/// Odd-length inputs replicate the last sample.
+struct HaarLevel {
+  std::vector<double> Approx;
+  std::vector<double> Detail;
+};
+
+HaarLevel haarForward(const std::vector<double> &Signal);
+
+/// Inverse of one Haar level. Approx and Detail must be the same length.
+std::vector<double> haarInverse(const std::vector<double> &Approx,
+                                const std::vector<double> &Detail);
+
+/// Multi-level denoising: decomposes \p Levels deep, soft-thresholds every
+/// detail band at \p ThresholdSigmas times that band's standard deviation,
+/// and reconstructs. The result has the same length as the input (up to
+/// odd-length padding, which is trimmed).
+std::vector<double> waveletDenoise(const std::vector<double> &Signal,
+                                   unsigned Levels = 2,
+                                   double ThresholdSigmas = 1.0);
+
+/// Edge detector: positions where the level-1 Haar detail coefficient
+/// exceeds \p ThresholdSigmas times the detail band's standard deviation.
+/// Returned positions index the original signal (the first sample of the
+/// pair whose difference spiked).
+std::vector<size_t> waveletEdges(const std::vector<double> &Signal,
+                                 double ThresholdSigmas = 2.0);
+
+} // namespace spm
+
+#endif // SPM_REUSE_WAVELET_H

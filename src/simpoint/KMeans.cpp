@@ -1,0 +1,200 @@
+//===- simpoint/KMeans.cpp ------------------------------------------------==//
+
+#include "simpoint/KMeans.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace spm;
+
+namespace {
+
+double sqDist(const std::vector<double> &A, const std::vector<double> &B) {
+  double S = 0.0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    double D = A[I] - B[I];
+    S += D * D;
+  }
+  return S;
+}
+
+/// k-means++ seeding over weighted points.
+std::vector<std::vector<double>>
+seedPlusPlus(const std::vector<std::vector<double>> &Pts,
+             const std::vector<double> &W, uint32_t K, Rng &Rand) {
+  std::vector<std::vector<double>> Centers;
+  Centers.reserve(K);
+
+  // First center: weighted-uniform draw.
+  double TotalW = 0.0;
+  for (double X : W)
+    TotalW += X;
+  double Pick = Rand.nextDouble() * TotalW;
+  size_t First = 0;
+  for (size_t I = 0; I < Pts.size(); ++I) {
+    Pick -= W[I];
+    if (Pick <= 0.0) {
+      First = I;
+      break;
+    }
+  }
+  Centers.push_back(Pts[First]);
+
+  std::vector<double> MinD(Pts.size(),
+                           std::numeric_limits<double>::infinity());
+  while (Centers.size() < K) {
+    double Sum = 0.0;
+    for (size_t I = 0; I < Pts.size(); ++I) {
+      double D = sqDist(Pts[I], Centers.back());
+      if (D < MinD[I])
+        MinD[I] = D;
+      Sum += MinD[I] * W[I];
+    }
+    if (Sum <= 0.0) {
+      // All mass sits on existing centers; duplicate one.
+      Centers.push_back(Centers.back());
+      continue;
+    }
+    double Target = Rand.nextDouble() * Sum;
+    size_t Chosen = Pts.size() - 1;
+    for (size_t I = 0; I < Pts.size(); ++I) {
+      Target -= MinD[I] * W[I];
+      if (Target <= 0.0) {
+        Chosen = I;
+        break;
+      }
+    }
+    Centers.push_back(Pts[Chosen]);
+  }
+  return Centers;
+}
+
+KMeansResult lloydOnce(const std::vector<std::vector<double>> &Pts,
+                       const std::vector<double> &W, uint32_t K, Rng &Rand,
+                       int MaxIters) {
+  size_t N = Pts.size();
+  size_t Dim = Pts[0].size();
+  KMeansResult R;
+  R.K = K;
+  R.Centroids = seedPlusPlus(Pts, W, K, Rand);
+  R.Assign.assign(N, -1);
+
+  for (int Iter = 0; Iter < MaxIters; ++Iter) {
+    bool Changed = false;
+    // Assignment step.
+    for (size_t I = 0; I < N; ++I) {
+      int32_t Best = 0;
+      double BestD = std::numeric_limits<double>::infinity();
+      for (uint32_t C = 0; C < K; ++C) {
+        double D = sqDist(Pts[I], R.Centroids[C]);
+        if (D < BestD) {
+          BestD = D;
+          Best = static_cast<int32_t>(C);
+        }
+      }
+      if (R.Assign[I] != Best) {
+        R.Assign[I] = Best;
+        Changed = true;
+      }
+    }
+    if (!Changed && Iter > 0)
+      break;
+    // Update step.
+    std::vector<std::vector<double>> Sums(K,
+                                          std::vector<double>(Dim, 0.0));
+    std::vector<double> Mass(K, 0.0);
+    for (size_t I = 0; I < N; ++I) {
+      auto C = static_cast<uint32_t>(R.Assign[I]);
+      Mass[C] += W[I];
+      for (size_t D = 0; D < Dim; ++D)
+        Sums[C][D] += W[I] * Pts[I][D];
+    }
+    for (uint32_t C = 0; C < K; ++C) {
+      if (Mass[C] <= 0.0)
+        continue; // Empty cluster keeps its centroid.
+      for (size_t D = 0; D < Dim; ++D)
+        R.Centroids[C][D] = Sums[C][D] / Mass[C];
+    }
+  }
+
+  R.Distortion = 0.0;
+  for (size_t I = 0; I < N; ++I)
+    R.Distortion +=
+        W[I] * sqDist(Pts[I], R.Centroids[static_cast<uint32_t>(R.Assign[I])]);
+  return R;
+}
+
+} // namespace
+
+KMeansResult spm::kmeansCluster(const std::vector<std::vector<double>> &Pts,
+                                const std::vector<double> &W, uint32_t K,
+                                uint64_t Seed, int Restarts, int MaxIters) {
+  assert(!Pts.empty() && "clustering requires points");
+  assert(Pts.size() == W.size() && "one weight per point");
+  assert(K >= 1 && "k must be positive");
+  if (K > Pts.size())
+    K = static_cast<uint32_t>(Pts.size());
+
+  Rng Rand(Seed);
+  KMeansResult Best;
+  Best.Distortion = std::numeric_limits<double>::infinity();
+  for (int T = 0; T < Restarts; ++T) {
+    KMeansResult R = lloydOnce(Pts, W, K, Rand, MaxIters);
+    if (R.Distortion < Best.Distortion)
+      Best = std::move(R);
+  }
+  return Best;
+}
+
+double spm::bicScore(const std::vector<std::vector<double>> &Pts,
+                     const std::vector<double> &W, const KMeansResult &R) {
+  size_t Dim = Pts[0].size();
+  uint32_t K = R.K;
+
+  double TotalMass = 0.0;
+  std::vector<double> Mass(K, 0.0);
+  for (size_t I = 0; I < Pts.size(); ++I) {
+    Mass[static_cast<uint32_t>(R.Assign[I])] += W[I];
+    TotalMass += W[I];
+  }
+
+  // Pooled spherical variance estimate.
+  double Var = R.Distortion / (Dim * std::max(TotalMass - K, 1.0));
+  if (Var <= 0.0)
+    Var = 1e-12;
+
+  double Llh = 0.0;
+  for (uint32_t C = 0; C < K; ++C) {
+    if (Mass[C] <= 0.0)
+      continue;
+    Llh += Mass[C] * std::log(Mass[C] / TotalMass) -
+           Mass[C] * 0.5 * std::log(2.0 * M_PI * Var) * Dim -
+           (Mass[C] - 1.0) * 0.5 * Dim;
+  }
+  double NumParams = K * (Dim + 1.0);
+  return Llh - 0.5 * NumParams * std::log(TotalMass);
+}
+
+KMeansResult
+spm::pickClustering(const std::vector<std::vector<double>> &Pts,
+                    const std::vector<double> &W,
+                    const std::vector<uint32_t> &Ks, uint64_t Seed,
+                    double BicThreshold, int Restarts) {
+  assert(!Ks.empty() && "no candidate cluster counts");
+  std::vector<KMeansResult> Runs;
+  std::vector<double> Bics;
+  double MinBic = std::numeric_limits<double>::infinity();
+  double MaxBic = -std::numeric_limits<double>::infinity();
+  for (uint32_t K : Ks) {
+    Runs.push_back(kmeansCluster(Pts, W, K, Seed + K, Restarts));
+    Bics.push_back(bicScore(Pts, W, Runs.back()));
+    MinBic = std::min(MinBic, Bics.back());
+    MaxBic = std::max(MaxBic, Bics.back());
+  }
+  double Cut = MinBic + BicThreshold * (MaxBic - MinBic);
+  for (size_t I = 0; I < Runs.size(); ++I)
+    if (Bics[I] >= Cut)
+      return Runs[I];
+  return Runs.back();
+}

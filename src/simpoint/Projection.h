@@ -1,0 +1,68 @@
+//===- simpoint/Projection.h - Random projection of BBVs --------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SimPoint reduces basic-block vectors to 15 dimensions with a random
+/// linear projection before clustering (Sec. 5.4 uses exactly 15). We
+/// normalize each BBV to sum 1 (SimPoint's per-interval normalization) and
+/// multiply by a random matrix whose entries are derived from a counter-
+/// based hash of (seed, block, dim) — no materialized matrix, so arbitrary
+/// static block counts cost nothing, and the same seed always produces the
+/// same projection (Figs. 5/6 reuse one projection for both interval
+/// slicings).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_SIMPOINT_PROJECTION_H
+#define SPM_SIMPOINT_PROJECTION_H
+
+#include "support/Random.h"
+#include "trace/Interval.h"
+
+#include <vector>
+
+namespace spm {
+
+/// Dense projected vector.
+using ProjectedVec = std::vector<double>;
+
+/// Projection entry for (block, dim) under \p Seed: uniform in [-1, 1].
+inline double projectionEntry(uint64_t Seed, uint32_t Block, uint32_t Dim) {
+  SplitMix64 H(Seed ^ (static_cast<uint64_t>(Block) * 0x100000001b3ULL + Dim));
+  return 2.0 * (static_cast<double>(H.next() >> 11) * 0x1.0p-53) - 1.0;
+}
+
+/// Projects one sparse BBV (normalized to sum 1) into \p Dim dimensions.
+inline ProjectedVec projectBbv(const Bbv &V, uint32_t Dim, uint64_t Seed) {
+  ProjectedVec Out(Dim, 0.0);
+  double Sum = 0.0;
+  for (const auto &[Block, W] : V)
+    Sum += W;
+  if (Sum <= 0.0)
+    return Out;
+  for (const auto &[Block, W] : V) {
+    double Norm = W / Sum;
+    for (uint32_t D = 0; D < Dim; ++D)
+      Out[D] += Norm * projectionEntry(Seed, Block, D);
+  }
+  return Out;
+}
+
+/// Projects every interval's BBV.
+inline std::vector<ProjectedVec>
+projectIntervals(const std::vector<IntervalRecord> &Ivs, uint32_t Dim,
+                 uint64_t Seed) {
+  std::vector<ProjectedVec> Out;
+  Out.reserve(Ivs.size());
+  for (const IntervalRecord &R : Ivs)
+    Out.push_back(projectBbv(R.Vector, Dim, Seed));
+  return Out;
+}
+
+} // namespace spm
+
+#endif // SPM_SIMPOINT_PROJECTION_H

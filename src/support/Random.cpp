@@ -1,0 +1,10 @@
+//===- support/Random.cpp -------------------------------------------------==//
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace spm;
+
+double Rng::sqrtOf(double X) { return std::sqrt(X); }
+double Rng::logOf(double X) { return std::log(X); }

@@ -1,0 +1,152 @@
+//===- trace/Interval.h - Execution intervals and BBVs ----------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interval framing: slicing an execution into contiguous intervals, either
+/// fixed-length (the SimPoint 2.0 baseline) or variable-length cut at
+/// marker firings (the paper's VLIs, Sec. 5.2/5.3). Each interval records
+/// its Basic Block Vector — per static block, executions weighted by the
+/// block's instruction count (Sec. 2.2) — and the performance-counter delta
+/// the phase metrics consume.
+///
+/// Event ordering contract: the call-loop tracker must be registered on the
+/// ObserverMux *before* the IntervalBuilder, and the PerfModel *after* it.
+/// Marker firings then request a cut before the new interval's first block
+/// is accounted anywhere, so interval boundaries are exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_TRACE_INTERVAL_H
+#define SPM_TRACE_INTERVAL_H
+
+#include "uarch/PerfModel.h"
+#include "vm/Observer.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace spm {
+
+/// Sparse basic-block vector: (global block id, weight) sorted by id.
+using Bbv = std::vector<std::pair<uint32_t, double>>;
+
+/// Phase id of the interval before the first marker fires.
+constexpr int32_t ProloguePhase = -1;
+
+/// One recorded interval.
+struct IntervalRecord {
+  uint64_t StartInstr = 0;
+  uint64_t NumInstrs = 0;
+  /// Marker index that began this interval (ProloguePhase before the first
+  /// firing). For fixed-length slicing this stays ProloguePhase; clustering
+  /// assigns phases afterwards.
+  int32_t PhaseId = ProloguePhase;
+  PerfCounters Perf; ///< Counter delta over the interval.
+  Bbv Vector;        ///< Empty unless BBV collection was enabled.
+
+  PerfMetrics metrics() const { return PerfModel::metricsFor(Perf); }
+};
+
+/// Observer that frames intervals. Construct in fixed-length mode or in
+/// marker mode (where cuts arrive via requestCut, typically wired to a
+/// MarkerRuntime callback).
+class IntervalBuilder : public ExecutionObserver {
+public:
+  /// Fixed-length intervals of \p Len instructions (cuts at the first block
+  /// boundary at or past the length).
+  static IntervalBuilder fixedLength(uint64_t Len, const PerfModel *Perf,
+                                     bool CollectBbv) {
+    return IntervalBuilder(Len, Perf, CollectBbv);
+  }
+
+  /// Marker-driven variable-length intervals.
+  static IntervalBuilder markerDriven(const PerfModel *Perf,
+                                      bool CollectBbv) {
+    return IntervalBuilder(0, Perf, CollectBbv);
+  }
+
+  /// Marker callback: the interval in progress ends; the next one is
+  /// attributed to \p MarkerIdx. Consecutive cuts with no instructions in
+  /// between collapse (the later marker wins).
+  void requestCut(int32_t MarkerIdx) {
+    PendingCut = true;
+    PendingPhase = MarkerIdx;
+  }
+
+  void onBlock(const LoweredBlock &Blk) override {
+    if (PendingCut) {
+      cut();
+      CurPhase = PendingPhase;
+      PendingCut = false;
+    } else if (FixedLen && CurInstrs >= FixedLen) {
+      cut();
+    }
+    CurInstrs += Blk.NumInstrs;
+    if (CollectBbv)
+      Weights[Blk.GlobalId] += Blk.NumInstrs;
+  }
+
+  void onRunEnd(uint64_t TotalInstrs) override {
+    (void)TotalInstrs;
+    cut();
+  }
+
+  const std::vector<IntervalRecord> &intervals() const { return Records; }
+  std::vector<IntervalRecord> takeIntervals() { return std::move(Records); }
+
+private:
+  IntervalBuilder(uint64_t FixedLen, const PerfModel *Perf, bool CollectBbv)
+      : FixedLen(FixedLen), Perf(Perf), CollectBbv(CollectBbv) {}
+
+  void cut() {
+    if (CurInstrs == 0)
+      return; // Nothing accumulated; keep waiting.
+    IntervalRecord R;
+    R.StartInstr = StartInstr;
+    R.NumInstrs = CurInstrs;
+    R.PhaseId = CurPhase;
+    if (Perf) {
+      R.Perf = Perf->counters() - LastPerf;
+      LastPerf = Perf->counters();
+    }
+    if (CollectBbv) {
+      R.Vector.assign(Weights.begin(), Weights.end());
+      std::sort(R.Vector.begin(), R.Vector.end());
+      Weights.clear();
+    }
+    StartInstr += CurInstrs;
+    CurInstrs = 0;
+    Records.push_back(std::move(R));
+  }
+
+  uint64_t FixedLen; ///< 0 => marker mode.
+  const PerfModel *Perf;
+  bool CollectBbv;
+
+  uint64_t StartInstr = 0;
+  uint64_t CurInstrs = 0;
+  int32_t CurPhase = ProloguePhase;
+  bool PendingCut = false;
+  int32_t PendingPhase = ProloguePhase;
+  PerfCounters LastPerf;
+  std::unordered_map<uint32_t, double> Weights;
+  std::vector<IntervalRecord> Records;
+};
+
+/// Total instructions across \p Intervals.
+inline uint64_t totalInstructions(const std::vector<IntervalRecord> &Ivs) {
+  uint64_t T = 0;
+  for (const IntervalRecord &R : Ivs)
+    T += R.NumInstrs;
+  return T;
+}
+
+} // namespace spm
+
+#endif // SPM_TRACE_INTERVAL_H

@@ -1,0 +1,216 @@
+//===- vm/Interpreter.cpp -------------------------------------------------==//
+
+#include "vm/Interpreter.h"
+
+using namespace spm;
+
+// Out-of-line virtual method anchor.
+ExecutionObserver::~ExecutionObserver() = default;
+
+Interpreter::Interpreter(const Binary &B, const WorkloadInput &In)
+    : B(B), In(In), Rand(In.seed()) {
+  RegionSizes.reserve(B.Regions.size());
+  for (const MemRegionSpec &R : B.Regions) {
+    uint64_t Size = R.SizeParam.empty()
+                        ? R.FixedSize
+                        : static_cast<uint64_t>(In.get(R.SizeParam)) *
+                              R.SizeScale;
+    assert(Size > 0 && "region resolved to zero bytes");
+    assert(Size <= RegionSpacing && "region larger than its address slot");
+    RegionSizes.push_back(Size < 64 ? 64 : Size);
+  }
+  SeqPos.assign(B.NumMemSites, 0);
+  ChaseState.assign(B.NumMemSites, 0);
+  for (uint32_t I = 0; I < B.NumMemSites; ++I)
+    ChaseState[I] = In.seed() * 0x9e3779b97f4a7c15ULL + I;
+  SchedCursor.assign(B.NumTripSites, 0);
+  CondCounter.assign(B.NumCondSites, 0);
+  RRCursor.assign(B.NumRRSites, 0);
+}
+
+RunResult Interpreter::run(ExecutionObserver &Obs, uint64_t MaxInstrsIn) {
+  MaxInstrs = MaxInstrsIn;
+  Result = RunResult();
+  Obs.onRunStart(B, In);
+  execFunction(/*FuncId=*/0, /*Depth=*/0, Obs);
+  Obs.onRunEnd(Result.TotalInstrs);
+  return Result;
+}
+
+bool Interpreter::execBlock(const LoweredBlock &Blk, ExecutionObserver &Obs) {
+  Obs.onBlock(Blk);
+  Result.TotalInstrs += Blk.NumInstrs;
+  ++Result.TotalBlocks;
+  for (size_t I = 0; I < Blk.MemOps.size(); ++I) {
+    const MemAccessSpec &M = Blk.MemOps[I];
+    uint32_t Site = Blk.FirstMemSite + static_cast<uint32_t>(I);
+    for (uint32_t C = 0; C < M.Count; ++C) {
+      Obs.onMemAccess(genAddress(M, Site), M.IsStore);
+      ++Result.TotalMemAccesses;
+    }
+  }
+  if (Result.TotalInstrs >= MaxInstrs) {
+    Result.HitInstrLimit = true;
+    return false;
+  }
+  return true;
+}
+
+uint64_t Interpreter::genAddress(const MemAccessSpec &M, uint32_t Site) {
+  uint64_t Base = regionBase(M.RegionIdx);
+  uint64_t Size = RegionSizes[M.RegionIdx];
+  // Active working set: the leading fraction of the region this site uses.
+  uint64_t WS = Size * M.WorkingSetFrac256 / 256;
+  if (WS < 64)
+    WS = 64;
+
+  switch (M.Pat) {
+  case MemAccessSpec::Pattern::Sequential: {
+    uint64_t Addr = Base + (SeqPos[Site] % WS);
+    SeqPos[Site] += M.Stride;
+    return Addr;
+  }
+  case MemAccessSpec::Pattern::Random:
+    return Base + (Rand.nextBelow(WS / 8) * 8);
+  case MemAccessSpec::Pattern::Point:
+    return Base + (M.Offset % Size);
+  case MemAccessSpec::Pattern::Chase: {
+    // Dependent random walk with a per-site LCG so the chain is
+    // reproducible and independent of the shared random stream.
+    uint64_t S = ChaseState[Site];
+    S = S * 6364136223846793005ULL + 1442695040888963407ULL;
+    ChaseState[Site] = S;
+    return Base + ((S >> 11) % (WS / 8)) * 8;
+  }
+  }
+  assert(false && "unknown memory pattern");
+  return Base;
+}
+
+uint64_t Interpreter::evalTrip(const TripCountSpec &T, uint32_t Site) {
+  switch (T.K) {
+  case TripCountSpec::Kind::Constant:
+    return T.Value;
+  case TripCountSpec::Kind::Uniform:
+    return Rand.nextInRange(T.Lo, T.Hi);
+  case TripCountSpec::Kind::Param:
+    return static_cast<uint64_t>(In.get(T.ParamName)) * T.Num / T.Den;
+  case TripCountSpec::Kind::ParamUniform: {
+    auto P = static_cast<uint64_t>(In.get(T.ParamName));
+    uint64_t Lo = P * T.LoNum / T.Den;
+    uint64_t Hi = P * T.HiNum / T.Den;
+    if (Lo > Hi)
+      Lo = Hi;
+    return Rand.nextInRange(Lo, Hi);
+  }
+  case TripCountSpec::Kind::Schedule:
+    return T.Values[SchedCursor[Site]++ % T.Values.size()];
+  }
+  assert(false && "unknown trip count kind");
+  return 1;
+}
+
+bool Interpreter::evalCond(const CondSpec &C, uint32_t Site) {
+  switch (C.K) {
+  case CondSpec::Kind::Bernoulli:
+    return Rand.nextBool(C.P);
+  case CondSpec::Kind::Periodic:
+    return (CondCounter[Site]++ % C.Period) < C.TrueCount;
+  }
+  assert(false && "unknown condition kind");
+  return false;
+}
+
+bool Interpreter::execFunction(uint32_t FuncId, unsigned Depth,
+                               ExecutionObserver &Obs) {
+  const LoweredFunction &F = B.func(FuncId);
+  if (!execBlock(B.block(F.EntryBlock), Obs))
+    return false;
+  if (!execNodes(F.Body, Depth, Obs))
+    return false;
+  return execBlock(B.block(F.ExitBlock), Obs);
+}
+
+bool Interpreter::execNodes(const std::vector<ExecNode> &Nodes,
+                            unsigned Depth, ExecutionObserver &Obs) {
+  for (const ExecNode &N : Nodes)
+    if (!execNode(N, Depth, Obs))
+      return false;
+  return true;
+}
+
+bool Interpreter::execNode(const ExecNode &N, unsigned Depth,
+                           ExecutionObserver &Obs) {
+  switch (N.K) {
+  case ExecNode::Kind::Code:
+    return execBlock(B.block(N.Block), Obs);
+
+  case ExecNode::Kind::Loop: {
+    uint64_t Trip = evalTrip(N.Trip, N.TripSite);
+    const LoweredBlock &Header = B.block(N.Block);
+    const LoweredBlock &Latch = B.block(N.LatchBlock);
+    for (uint64_t I = 0; I < Trip; ++I) {
+      if (!execBlock(Header, Obs))
+        return false;
+      if (!execNodes(N.Children, Depth, Obs))
+        return false;
+      if (!execBlock(Latch, Obs))
+        return false;
+      bool Taken = I + 1 < Trip;
+      Obs.onBranch(Latch.termAddr(), Header.Addr, Taken, /*Backward=*/true,
+                   /*Conditional=*/true);
+    }
+    return true;
+  }
+
+  case ExecNode::Kind::If: {
+    const LoweredBlock &Cond = B.block(N.Block);
+    if (!execBlock(Cond, Obs))
+      return false;
+    bool TakeThen = evalCond(N.Cond, N.CondSite);
+    // The lowered branch skips the then-part when the condition is false.
+    Obs.onBranch(Cond.termAddr(), Cond.Term.TargetAddr, /*Taken=*/!TakeThen,
+                 /*Backward=*/false, /*Conditional=*/true);
+    return execNodes(TakeThen ? N.Children : N.ElseChildren, Depth, Obs);
+  }
+
+  case ExecNode::Kind::Call: {
+    const LoweredBlock &Site = B.block(N.Block);
+    if (!execBlock(Site, Obs))
+      return false;
+    if (N.CallProb < 1.0 && !Rand.nextBool(N.CallProb))
+      return true;
+    if (Depth + 1 >= MaxCallDepth)
+      return true; // Guarded-recursion depth cap; see header comment.
+
+    uint32_t Callee;
+    if (N.Candidates.size() == 1) {
+      Callee = N.Candidates[0].Callee;
+    } else if (N.RoundRobin) {
+      Callee = N.Candidates[RRCursor[N.RRSite]++ % N.Candidates.size()]
+                   .Callee;
+    } else {
+      uint64_t Total = 0;
+      for (const auto &Cand : N.Candidates)
+        Total += Cand.Weight;
+      uint64_t Pick = Rand.nextBelow(Total);
+      Callee = N.Candidates.back().Callee;
+      for (const auto &Cand : N.Candidates) {
+        if (Pick < Cand.Weight) {
+          Callee = Cand.Callee;
+          break;
+        }
+        Pick -= Cand.Weight;
+      }
+    }
+
+    Obs.onCall(Site.termAddr(), Callee);
+    if (!execFunction(Callee, Depth + 1, Obs))
+      return false;
+    Obs.onReturn(Callee);
+    return true;
+  }
+  }
+  assert(false && "unknown exec node kind");
+  return false;
+}

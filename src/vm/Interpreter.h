@@ -1,0 +1,100 @@
+//===- vm/Interpreter.h - Binary interpreter --------------------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a lowered Binary on a WorkloadInput, publishing instrumentation
+/// events to an ExecutionObserver. Execution is fully deterministic given
+/// (binary structure, input parameters, input seed): loop trip counts,
+/// branch outcomes, and data addresses come from the input's random stream
+/// and per-site cursors, never from wall-clock or global state. Two
+/// lowerings of the same source executed on the same input therefore take
+/// identical structural paths — the property Sec. 5.3.1 of the paper relies
+/// on for cross-binary markers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_VM_INTERPRETER_H
+#define SPM_VM_INTERPRETER_H
+
+#include "ir/Binary.h"
+#include "ir/Input.h"
+#include "support/Random.h"
+#include "vm/Observer.h"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace spm {
+
+/// Summary of one execution.
+struct RunResult {
+  uint64_t TotalInstrs = 0;
+  uint64_t TotalBlocks = 0;
+  uint64_t TotalMemAccesses = 0;
+  bool HitInstrLimit = false;
+};
+
+/// The interpreter. Construct once per (binary, input) pair and call run().
+class Interpreter {
+public:
+  /// Maximum dynamic call depth; probability-guarded recursion deeper than
+  /// this silently skips the call (documented workload semantics, asserted
+  /// on in tests).
+  static constexpr unsigned MaxCallDepth = 256;
+
+  Interpreter(const Binary &B, const WorkloadInput &In);
+
+  /// Runs to completion or until \p MaxInstrs retire. Returns the summary.
+  RunResult run(ExecutionObserver &Obs,
+                uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max());
+
+  /// Resolved byte size of region \p Idx under the constructor's input.
+  uint64_t regionSize(uint32_t Idx) const {
+    assert(Idx < RegionSizes.size() && "region index out of range");
+    return RegionSizes[Idx];
+  }
+
+  /// Base address of region \p Idx in the simulated data address space.
+  uint64_t regionBase(uint32_t Idx) const {
+    assert(Idx < RegionSizes.size() && "region index out of range");
+    return DataBase + static_cast<uint64_t>(Idx) * RegionSpacing;
+  }
+
+private:
+  // Regions live far above code addresses, spaced so they never overlap.
+  static constexpr uint64_t DataBase = 1ull << 32;
+  static constexpr uint64_t RegionSpacing = 1ull << 30;
+
+  bool execFunction(uint32_t FuncId, unsigned Depth, ExecutionObserver &Obs);
+  bool execNodes(const std::vector<ExecNode> &Nodes, unsigned Depth,
+                 ExecutionObserver &Obs);
+  bool execNode(const ExecNode &N, unsigned Depth, ExecutionObserver &Obs);
+  /// Emits the block event and its memory accesses; returns false when the
+  /// instruction budget is exhausted.
+  bool execBlock(const LoweredBlock &Blk, ExecutionObserver &Obs);
+  uint64_t genAddress(const MemAccessSpec &M, uint32_t Site);
+  uint64_t evalTrip(const TripCountSpec &T, uint32_t Site);
+  bool evalCond(const CondSpec &C, uint32_t Site);
+
+  const Binary &B;
+  const WorkloadInput &In;
+  Rng Rand;
+  uint64_t MaxInstrs = 0;
+  RunResult Result;
+
+  std::vector<uint64_t> RegionSizes;
+  std::vector<uint64_t> SeqPos;       ///< Per mem site sequential cursor.
+  std::vector<uint64_t> ChaseState;   ///< Per mem site chase LCG state.
+  std::vector<uint64_t> SchedCursor;  ///< Per trip site schedule cursor.
+  std::vector<uint64_t> CondCounter;  ///< Per cond site periodic counter.
+  std::vector<uint64_t> RRCursor;     ///< Per call site round-robin cursor.
+};
+
+} // namespace spm
+
+#endif // SPM_VM_INTERPRETER_H

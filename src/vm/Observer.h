@@ -1,0 +1,123 @@
+//===- vm/Observer.h - Execution instrumentation interface ------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ExecutionObserver is this project's ATOM: a binary-instrumentation event
+/// stream. The paper's analyses consume exactly these events — basic block
+/// executions with instruction counts, memory accesses, branches (with
+/// direction), calls, and returns. Everything downstream (call-loop
+/// profiling, BBV collection, cache simulation, marker firing) is an
+/// observer; ObserverMux fans one execution out to many of them so a single
+/// simulated run feeds every analysis at once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_VM_OBSERVER_H
+#define SPM_VM_OBSERVER_H
+
+#include "ir/Binary.h"
+#include "ir/Input.h"
+
+#include <vector>
+
+namespace spm {
+
+/// Receives instrumentation events from the interpreter. Handlers default
+/// to no-ops so observers override only what they need.
+class ExecutionObserver {
+public:
+  virtual ~ExecutionObserver();
+
+  /// Execution is starting on \p B with input \p In.
+  virtual void onRunStart(const Binary &B, const WorkloadInput &In) {
+    (void)B;
+    (void)In;
+  }
+
+  /// Block \p Blk is about to execute (all of its instructions retire, then
+  /// its memory accesses and terminator events follow).
+  virtual void onBlock(const LoweredBlock &Blk) { (void)Blk; }
+
+  /// A data access to \p Addr (load when !IsStore).
+  virtual void onMemAccess(uint64_t Addr, bool IsStore) {
+    (void)Addr;
+    (void)IsStore;
+  }
+
+  /// A branch at \p Pc targeting \p Target executed. \p Backward is true
+  /// for non-interprocedural backward branches (the paper's loop signal).
+  virtual void onBranch(uint64_t Pc, uint64_t Target, bool Taken,
+                        bool Backward, bool Conditional) {
+    (void)Pc;
+    (void)Target;
+    (void)Taken;
+    (void)Backward;
+    (void)Conditional;
+  }
+
+  /// Call from site \p SiteAddr to function \p Callee (entry block follows).
+  virtual void onCall(uint64_t SiteAddr, uint32_t Callee) {
+    (void)SiteAddr;
+    (void)Callee;
+  }
+
+  /// Function \p Callee returned (its exit block was just executed).
+  virtual void onReturn(uint32_t Callee) { (void)Callee; }
+
+  /// Execution finished after \p TotalInstrs retired instructions.
+  virtual void onRunEnd(uint64_t TotalInstrs) { (void)TotalInstrs; }
+};
+
+/// Broadcasts each event to a list of observers in registration order.
+/// Order matters: e.g. the call-loop tracker must see a block before the
+/// interval builder accounts it, so marker-driven cuts land between them.
+class ObserverMux : public ExecutionObserver {
+public:
+  ObserverMux() = default;
+  explicit ObserverMux(std::vector<ExecutionObserver *> List)
+      : Obs(std::move(List)) {}
+
+  /// Appends \p O (not owned) to the broadcast list.
+  void add(ExecutionObserver *O) { Obs.push_back(O); }
+
+  void onRunStart(const Binary &B, const WorkloadInput &In) override {
+    for (auto *O : Obs)
+      O->onRunStart(B, In);
+  }
+  void onBlock(const LoweredBlock &Blk) override {
+    for (auto *O : Obs)
+      O->onBlock(Blk);
+  }
+  void onMemAccess(uint64_t Addr, bool IsStore) override {
+    for (auto *O : Obs)
+      O->onMemAccess(Addr, IsStore);
+  }
+  void onBranch(uint64_t Pc, uint64_t Target, bool Taken, bool Backward,
+                bool Conditional) override {
+    for (auto *O : Obs)
+      O->onBranch(Pc, Target, Taken, Backward, Conditional);
+  }
+  void onCall(uint64_t SiteAddr, uint32_t Callee) override {
+    for (auto *O : Obs)
+      O->onCall(SiteAddr, Callee);
+  }
+  void onReturn(uint32_t Callee) override {
+    for (auto *O : Obs)
+      O->onReturn(Callee);
+  }
+  void onRunEnd(uint64_t TotalInstrs) override {
+    for (auto *O : Obs)
+      O->onRunEnd(TotalInstrs);
+  }
+
+private:
+  std::vector<ExecutionObserver *> Obs;
+};
+
+} // namespace spm
+
+#endif // SPM_VM_OBSERVER_H

@@ -1,0 +1,87 @@
+//===- workloads/Access.h - Memory access spec shorthands -------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Terse constructors for the MemAccessSpec patterns the workload programs
+/// are written in. Internal to src/workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_WORKLOADS_ACCESS_H
+#define SPM_WORKLOADS_ACCESS_H
+
+#include "ir/SourceProgram.h"
+
+namespace spm {
+
+inline MemAccessSpec seqLoad(uint32_t Region, uint32_t Count = 1,
+                             uint64_t Stride = 8) {
+  MemAccessSpec M;
+  M.RegionIdx = Region;
+  M.Pat = MemAccessSpec::Pattern::Sequential;
+  M.Count = Count;
+  M.Stride = Stride;
+  return M;
+}
+
+inline MemAccessSpec seqStore(uint32_t Region, uint32_t Count = 1,
+                              uint64_t Stride = 8) {
+  MemAccessSpec M = seqLoad(Region, Count, Stride);
+  M.IsStore = true;
+  return M;
+}
+
+/// Random access within the leading WsFrac/256 of the region.
+inline MemAccessSpec randLoad(uint32_t Region, uint32_t Count = 1,
+                              uint32_t WsFrac256 = 256) {
+  MemAccessSpec M;
+  M.RegionIdx = Region;
+  M.Pat = MemAccessSpec::Pattern::Random;
+  M.Count = Count;
+  M.WorkingSetFrac256 = WsFrac256;
+  return M;
+}
+
+inline MemAccessSpec randStore(uint32_t Region, uint32_t Count = 1,
+                               uint32_t WsFrac256 = 256) {
+  MemAccessSpec M = randLoad(Region, Count, WsFrac256);
+  M.IsStore = true;
+  return M;
+}
+
+/// Dependent pointer-chase load.
+inline MemAccessSpec chaseLoad(uint32_t Region, uint32_t Count = 1,
+                               uint32_t WsFrac256 = 256) {
+  MemAccessSpec M;
+  M.RegionIdx = Region;
+  M.Pat = MemAccessSpec::Pattern::Chase;
+  M.Count = Count;
+  M.WorkingSetFrac256 = WsFrac256;
+  return M;
+}
+
+/// Fixed-address access (a hot global / top of stack).
+inline MemAccessSpec pointLoad(uint32_t Region, uint64_t Offset = 0,
+                               uint32_t Count = 1) {
+  MemAccessSpec M;
+  M.RegionIdx = Region;
+  M.Pat = MemAccessSpec::Pattern::Point;
+  M.Offset = Offset;
+  M.Count = Count;
+  return M;
+}
+
+inline MemAccessSpec pointStore(uint32_t Region, uint64_t Offset = 0,
+                                uint32_t Count = 1) {
+  MemAccessSpec M = pointLoad(Region, Offset, Count);
+  M.IsStore = true;
+  return M;
+}
+
+} // namespace spm
+
+#endif // SPM_WORKLOADS_ACCESS_H

@@ -1,0 +1,68 @@
+//===- workloads/Applu.cpp - applu lookalike ------------------------------==//
+//
+// SSOR solver for coupled PDEs: each time step computes the right-hand
+// side (streaming stencil), then performs the lower and upper triangular
+// solves (wavefront sweeps with block-strided access). The paper singles
+// out applu: its marker-selected intervals average ~40M instructions
+// (~40K at our scale), far from any fixed interval length, which is why
+// fixed-interval BBV reconfiguration is out of sync on it (Fig. 10
+// discussion).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "workloads/Access.h"
+#include "workloads/Workloads.h"
+
+using namespace spm;
+
+Workload spm::makeApplu() {
+  ProgramBuilder PB("applu");
+  uint32_t U = PB.region(MemRegionSpec::param("u", "grid_kb", 1024));
+  uint32_t Rsd = PB.region(MemRegionSpec::param("rsd", "grid_kb", 1024));
+  uint32_t Jac = PB.region(MemRegionSpec::fixed("jacobians", 32 * 1024));
+
+  uint32_t Main = PB.declare("main");
+  uint32_t Rhs = PB.declare("compute_rhs");
+  uint32_t Blts = PB.declare("lower_solve");
+  uint32_t Buts = PB.declare("upper_solve");
+
+  PB.define(Rhs, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::param("cells"), [&] {
+      F.code(2, 9, {seqLoad(U, 3, 64), seqStore(Rsd, 1, 64)});
+    });
+  });
+
+  PB.define(Blts, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::param("cells"), [&] {
+      F.code(3, 8, {seqLoad(Rsd, 2, 64), randLoad(Jac, 2),
+                    seqStore(Rsd, 1, 64)});
+    });
+  });
+
+  PB.define(Buts, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::param("cells"), [&] {
+      F.code(3, 8, {seqLoad(Rsd, 2, 64), randLoad(Jac, 2),
+                    seqStore(U, 1, 64)});
+    });
+  });
+
+  PB.define(Main, [&](FunctionBuilder &F) {
+    F.code(20, 0, {seqLoad(U, 6)});
+    F.loop(TripCountSpec::param("timesteps"), [&] {
+      F.call(Rhs);
+      F.call(Blts);
+      F.call(Buts);
+    });
+  });
+
+  Workload W;
+  W.Name = "applu";
+  W.RefLabel = "ref";
+  W.Program = PB.take();
+  W.Train = WorkloadInput("train", 1016);
+  W.Train.set("timesteps", 16).set("cells", 1000).set("grid_kb", 520);
+  W.Ref = WorkloadInput("ref", 2016);
+  W.Ref.set("timesteps", 40).set("cells", 1500).set("grid_kb", 640);
+  return W;
+}

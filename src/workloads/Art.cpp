@@ -1,0 +1,57 @@
+//===- workloads/Art.cpp - art/110 lookalike ------------------------------==//
+//
+// Adaptive Resonance Theory image recognition: per scan window, a match
+// phase streams the F1 neuron layer against the window, then a learning
+// phase updates the winning class's weights. Small, regular working sets
+// and long stable loops: art is among the most phase-regular SPEC FP
+// programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "workloads/Access.h"
+#include "workloads/Workloads.h"
+
+using namespace spm;
+
+Workload spm::makeArt() {
+  ProgramBuilder PB("art");
+  uint32_t Weights = PB.region(MemRegionSpec::param("weights", "net_kb", 1024));
+  uint32_t Image = PB.region(MemRegionSpec::fixed("image", 256 * 1024));
+  uint32_t F1 = PB.region(MemRegionSpec::fixed("f1", 40 * 1024));
+
+  uint32_t Main = PB.declare("main");
+  uint32_t MatchWindow = PB.declare("match_window");
+  uint32_t TrainMatch = PB.declare("train_match");
+
+  PB.define(MatchWindow, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::param("f1_neurons"), [&] {
+      F.code(3, 4, {seqLoad(Weights, 2), seqLoad(F1, 1)});
+    });
+  });
+
+  PB.define(TrainMatch, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::param("f1_neurons", 1, 2), [&] {
+      F.code(2, 3, {seqLoad(F1, 1), seqStore(Weights, 1)});
+    });
+  });
+
+  PB.define(Main, [&](FunctionBuilder &F) {
+    F.code(20, 0, {seqLoad(Image, 8)});
+    F.loop(TripCountSpec::param("windows"), [&] {
+      F.code(4, 0, {seqLoad(Image, 4)});
+      F.call(MatchWindow);
+      F.call(TrainMatch);
+    });
+  });
+
+  Workload W;
+  W.Name = "art";
+  W.RefLabel = "110";
+  W.Program = PB.take();
+  W.Train = WorkloadInput("train", 1008);
+  W.Train.set("windows", 20).set("f1_neurons", 1400).set("net_kb", 100);
+  W.Ref = WorkloadInput("ref", 2008);
+  W.Ref.set("windows", 55).set("f1_neurons", 2200).set("net_kb", 220);
+  return W;
+}

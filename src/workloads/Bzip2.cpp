@@ -1,0 +1,72 @@
+//===- workloads/Bzip2.cpp - bzip2/graphic lookalike ----------------------==//
+//
+// bzip2 processes a few large blocks, each through three distinct
+// sub-phases: a BWT-style sort (random access over the block buffer), MTF
+// recoding (strided), and entropy coding (sequential). The program visits
+// a handful of dominant code regions and transitions between them only a
+// few times — the structure Figs. 5/6 of the paper visualize as dense,
+// well-separated BBV clouds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "workloads/Access.h"
+#include "workloads/Workloads.h"
+
+using namespace spm;
+
+Workload spm::makeBzip2() {
+  ProgramBuilder PB("bzip2");
+  uint32_t Block = PB.region(MemRegionSpec::param("block", "block_kb", 1024));
+  uint32_t Ptrs = PB.region(MemRegionSpec::param("ptrs", "block_kb", 2048));
+  uint32_t Freq = PB.region(MemRegionSpec::fixed("freq", 16 * 1024));
+  uint32_t Out = PB.region(MemRegionSpec::fixed("out", 128 * 1024));
+
+  uint32_t Main = PB.declare("main");
+  uint32_t SortBlock = PB.declare("sort_block");
+  uint32_t MtfEncode = PB.declare("mtf_encode");
+  uint32_t HuffCode = PB.declare("huff_code");
+
+  PB.define(SortBlock, [&](FunctionBuilder &F) {
+    // Pointer sort: heavy random traffic over block and pointer arrays.
+    F.loop(TripCountSpec::paramUniform("block_work", 9, 11, 10), [&] {
+      F.code(7, 0, {randLoad(Block, 2), randLoad(Ptrs, 1),
+                    randStore(Ptrs, 1)});
+    });
+  });
+
+  PB.define(MtfEncode, [&](FunctionBuilder &F) {
+    // Move-to-front: strided walk with a hot small table.
+    F.loop(TripCountSpec::paramUniform("block_work", 6, 7, 10), [&] {
+      F.code(6, 0, {seqLoad(Block, 1, 16), pointLoad(Freq, 128),
+                    pointStore(Freq, 128)});
+    });
+  });
+
+  PB.define(HuffCode, [&](FunctionBuilder &F) {
+    // Entropy coding: sequential in, sequential out, small table hits.
+    F.loop(TripCountSpec::paramUniform("block_work", 5, 6, 10), [&] {
+      F.code(8, 0, {seqLoad(Block, 1), randLoad(Freq, 1),
+                    seqStore(Out, 1)});
+    });
+  });
+
+  PB.define(Main, [&](FunctionBuilder &F) {
+    F.code(30, 0, {seqLoad(Block, 8)});
+    F.loop(TripCountSpec::param("blocks"), [&] {
+      F.call(SortBlock);
+      F.call(MtfEncode);
+      F.call(HuffCode);
+    });
+  });
+
+  Workload W;
+  W.Name = "bzip2";
+  W.RefLabel = "graphic";
+  W.Program = PB.take();
+  W.Train = WorkloadInput("train", 1002);
+  W.Train.set("blocks", 3).set("block_work", 9000).set("block_kb", 96);
+  W.Ref = WorkloadInput("ref", 2002);
+  W.Ref.set("blocks", 7).set("block_work", 16000).set("block_kb", 224);
+  return W;
+}

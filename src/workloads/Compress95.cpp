@@ -1,0 +1,60 @@
+//===- workloads/Compress95.cpp - compress95 lookalike --------------------==//
+//
+// The SPEC95 compress harness: alternately compresses and decompresses an
+// in-memory buffer. Compression hashes into a large code table (random,
+// ~160KB — wants the big cache); decompression walks a small suffix table
+// (~24KB — happy with the smallest). The starkest reconfiguration
+// opportunity in the Shen suite: phase-aware resizing halves the average
+// cache size at no miss-rate cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "workloads/Access.h"
+#include "workloads/Workloads.h"
+
+using namespace spm;
+
+Workload spm::makeCompress95() {
+  ProgramBuilder PB("compress95");
+  uint32_t InBuf = PB.region(MemRegionSpec::param("inbuf", "buf_kb", 1024));
+  uint32_t HashTab = PB.region(MemRegionSpec::fixed("hashtab", 64 * 1024));
+  uint32_t Suffix = PB.region(MemRegionSpec::fixed("suffix", 24 * 1024));
+  uint32_t OutBuf = PB.region(MemRegionSpec::fixed("outbuf", 512 * 1024));
+
+  uint32_t Main = PB.declare("main");
+  uint32_t Compress = PB.declare("compress");
+  uint32_t Decompress = PB.declare("decompress");
+
+  PB.define(Compress, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::param("buf_bytes"), [&] {
+      F.code(7, 0, {seqLoad(InBuf, 1, 64), randLoad(HashTab, 1),
+                    randStore(HashTab, 1), seqStore(OutBuf, 1, 16)});
+    });
+  });
+
+  PB.define(Decompress, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::param("buf_bytes"), [&] {
+      F.code(5, 0, {seqLoad(OutBuf, 1, 64), randLoad(Suffix, 2),
+                    seqStore(InBuf, 1, 64)});
+    });
+  });
+
+  PB.define(Main, [&](FunctionBuilder &F) {
+    F.code(20, 0, {seqLoad(InBuf, 6)});
+    F.loop(TripCountSpec::param("runs"), [&] {
+      F.call(Compress);
+      F.call(Decompress);
+    });
+  });
+
+  Workload W;
+  W.Name = "compress95";
+  W.RefLabel = "ref";
+  W.Program = PB.take();
+  W.Train = WorkloadInput("train", 1014);
+  W.Train.set("runs", 14).set("buf_bytes", 2000).set("buf_kb", 500);
+  W.Ref = WorkloadInput("ref", 2014);
+  W.Ref.set("runs", 35).set("buf_bytes", 3000).set("buf_kb", 600);
+  return W;
+}

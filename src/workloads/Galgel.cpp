@@ -1,0 +1,69 @@
+//===- workloads/Galgel.cpp - galgel/ref lookalike ------------------------==//
+//
+// Galerkin FEM fluid dynamics: per time step, matrix assembly (sequential
+// FP sweeps), an inner iterative solver whose iteration count varies with
+// convergence, and a state update. FP-regular overall, but the solver's
+// data-dependent iteration count gives the limit-mode selector the "many
+// small children" structure the paper observes for galgel in Fig. 8.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "workloads/Access.h"
+#include "workloads/Workloads.h"
+
+using namespace spm;
+
+Workload spm::makeGalgel() {
+  ProgramBuilder PB("galgel");
+  uint32_t Matrix = PB.region(MemRegionSpec::param("matrix", "mat_kb", 1024));
+  uint32_t Vec = PB.region(MemRegionSpec::fixed("vectors", 128 * 1024));
+  uint32_t State = PB.region(MemRegionSpec::fixed("state", 96 * 1024));
+
+  uint32_t Main = PB.declare("main");
+  uint32_t Assemble = PB.declare("assemble");
+  uint32_t SolveStep = PB.declare("solve_step");
+  uint32_t UpdateState = PB.declare("update_state");
+
+  PB.define(Assemble, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::paramUniform("elements", 9, 11, 10), [&] {
+      F.code(3, 8, {seqLoad(State, 1), seqStore(Matrix, 2)});
+    });
+  });
+
+  PB.define(SolveStep, [&](FunctionBuilder &F) {
+    // One matrix-vector product + vector ops.
+    F.loop(TripCountSpec::param("rows"), [&] {
+      F.code(2, 6, {seqLoad(Matrix, 3, 16), seqLoad(Vec, 1),
+                    seqStore(Vec, 1)});
+    });
+  });
+
+  PB.define(UpdateState, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::param("rows", 1, 2), [&] {
+      F.code(2, 4, {seqLoad(Vec, 1), seqStore(State, 1)});
+    });
+  });
+
+  PB.define(Main, [&](FunctionBuilder &F) {
+    F.code(25, 0, {seqLoad(State, 6)});
+    F.loop(TripCountSpec::param("timesteps"), [&] {
+      F.call(Assemble);
+      // Iterative solver: convergence takes a variable number of steps.
+      F.loop(TripCountSpec::uniform(8, 24), [&] { F.call(SolveStep); });
+      F.call(UpdateState);
+    });
+  });
+
+  Workload W;
+  W.Name = "galgel";
+  W.RefLabel = "ref";
+  W.Program = PB.take();
+  W.Train = WorkloadInput("train", 1009);
+  W.Train.set("timesteps", 8).set("elements", 900).set("rows", 350)
+      .set("mat_kb", 140);
+  W.Ref = WorkloadInput("ref", 2009);
+  W.Ref.set("timesteps", 20).set("elements", 1500).set("rows", 520)
+      .set("mat_kb", 300);
+  return W;
+}

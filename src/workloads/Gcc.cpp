@@ -1,0 +1,98 @@
+//===- workloads/Gcc.cpp - gcc/166 lookalike ------------------------------==//
+//
+// A compiler compiling a stream of functions whose sizes are wildly
+// variable: parse builds an AST (pointer-heavy, irregular), a set of
+// optimization passes run with data-dependent effort, then register
+// allocation and emission. gcc is the paper's flagship *irregular*
+// program: Shen et al.'s reuse-distance approach could not find phase
+// structure in it, while the call-loop approach still does — the per-pass
+// call edges are stable relative to gcc's overall variability because the
+// paper's CoV threshold adapts to each program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "workloads/Access.h"
+#include "workloads/Workloads.h"
+
+using namespace spm;
+
+Workload spm::makeGcc() {
+  ProgramBuilder PB("gcc");
+  uint32_t Ast = PB.region(MemRegionSpec::param("ast", "heap_kb", 1024));
+  uint32_t SymTab = PB.region(MemRegionSpec::fixed("symtab", 256 * 1024));
+  uint32_t Rtl = PB.region(MemRegionSpec::param("rtl", "heap_kb", 512));
+  uint32_t Text = PB.region(MemRegionSpec::fixed("text", 64 * 1024));
+
+  uint32_t Main = PB.declare("main");
+  uint32_t Parse = PB.declare("parse");
+  uint32_t Fold = PB.declare("fold_const");
+  uint32_t Cse = PB.declare("cse_pass");
+  uint32_t Sched = PB.declare("sched_pass");
+  uint32_t Regalloc = PB.declare("regalloc");
+  uint32_t Emit = PB.declare("emit_asm");
+
+  // Irregular helper passes: per-call work depends on the function being
+  // compiled (wide uniform trip counts), data is pointer-chased.
+  PB.define(Parse, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::uniform(40, 2200), [&] {
+      F.code(8, 0, {seqLoad(Text, 1), chaseLoad(Ast, 1),
+                    randStore(Ast, 1)});
+      F.branch(CondSpec::bernoulli(0.3),
+               [&] { F.code(5, 0, {randLoad(SymTab, 1)}); });
+    });
+  });
+
+  PB.define(Fold, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::uniform(10, 900), [&] {
+      F.code(6, 0, {chaseLoad(Ast, 1)});
+    });
+  });
+
+  PB.define(Cse, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::uniform(30, 1600), [&] {
+      F.code(9, 0, {chaseLoad(Rtl, 1), randLoad(SymTab, 1),
+                    randStore(Rtl, 1)});
+    });
+  });
+
+  PB.define(Sched, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::uniform(20, 1100), [&] {
+      F.code(11, 1, {chaseLoad(Rtl, 2)});
+    });
+  });
+
+  PB.define(Regalloc, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::uniform(25, 1300), [&] {
+      F.code(7, 0, {randLoad(Rtl, 1), randStore(Rtl, 1)});
+    });
+  });
+
+  PB.define(Emit, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::uniform(15, 700), [&] {
+      F.code(5, 0, {seqLoad(Rtl, 1), seqStore(Text, 1)});
+    });
+  });
+
+  PB.define(Main, [&](FunctionBuilder &F) {
+    F.code(40, 0, {seqLoad(Text, 4)});
+    F.loop(TripCountSpec::param("functions"), [&] {
+      F.call(Parse);
+      F.callIf(Fold, 0.7); // Some passes skip trivial functions.
+      F.call(Cse);
+      F.callIf(Sched, 0.6);
+      F.call(Regalloc);
+      F.call(Emit);
+    });
+  });
+
+  Workload W;
+  W.Name = "gcc";
+  W.RefLabel = "166";
+  W.Program = PB.take();
+  W.Train = WorkloadInput("train", 1003);
+  W.Train.set("functions", 18).set("heap_kb", 160);
+  W.Ref = WorkloadInput("ref", 2003);
+  W.Ref.set("functions", 55).set("heap_kb", 320);
+  return W;
+}

@@ -1,0 +1,68 @@
+//===- workloads/Gzip.cpp - gzip/graphic lookalike ------------------------==//
+//
+// gzip compressing a graphic file: the program alternates between long
+// deflate phases (hash-chain matching with random access into a large
+// window -> high DL1 miss rate) and short output phases (sequential writes
+// -> low miss rate). Fig. 3 of the paper shows exactly this two-phase
+// alternation for gzip-graphic, with markers at the start of each ridge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "workloads/Access.h"
+#include "workloads/Workloads.h"
+
+using namespace spm;
+
+Workload spm::makeGzip() {
+  ProgramBuilder PB("gzip");
+  // The sliding window is much larger than any cache configuration; the
+  // output buffer streams.
+  uint32_t Window = PB.region(MemRegionSpec::param("window", "window_kb", 1024));
+  uint32_t Input = PB.region(MemRegionSpec::param("input", "window_kb", 512));
+  uint32_t OutBuf = PB.region(MemRegionSpec::fixed("outbuf", 64 * 1024));
+  uint32_t Globals = PB.region(MemRegionSpec::fixed("globals", 4 * 1024));
+
+  uint32_t Main = PB.declare("main"); // Function 0 is the entry point.
+  uint32_t Deflate = PB.declare("deflate");
+  uint32_t FlushBlock = PB.declare("flush_block");
+
+  // deflate: scan the strip, probing the hash chains (random, whole
+  // window), occasionally updating match state.
+  PB.define(Deflate, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::paramUniform("strip_bytes", 97, 103, 100), [&] {
+      F.code(9, 0,
+             {seqLoad(Input, 1), randLoad(Window, 2), pointLoad(Globals, 64)});
+      F.branch(CondSpec::bernoulli(0.25),
+               [&] { F.code(6, 0, {randStore(Window, 1)}); });
+    });
+  });
+
+  // flush_block: emit the compressed bytes sequentially.
+  PB.define(FlushBlock, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::paramUniform("strip_bytes", 49, 51, 100), [&] {
+      F.code(5, 0, {seqLoad(Window, 1), seqStore(OutBuf, 1)});
+    });
+  });
+
+  // main: per image strip, deflate then flush.
+  PB.define(Main, [&](FunctionBuilder &F) {
+    F.code(20, 0, {seqLoad(Input, 4)});
+    F.loop(TripCountSpec::param("strips"), [&] {
+      F.call(Deflate);
+      F.call(FlushBlock);
+    });
+  });
+
+  Workload W;
+  W.Name = "gzip";
+  W.RefLabel = "graphic";
+  W.Program = PB.take();
+  // Train is a shorter run (fewer strips) of similar per-strip work, so
+  // markers chosen on it transfer to ref (Sec. 5.4 cross-train).
+  W.Train = WorkloadInput("train", 1001);
+  W.Train.set("strips", 6).set("strip_bytes", 2400).set("window_kb", 320);
+  W.Ref = WorkloadInput("ref", 2001);
+  W.Ref.set("strips", 36).set("strip_bytes", 2600).set("window_kb", 384);
+  return W;
+}

@@ -1,0 +1,56 @@
+//===- workloads/Lucas.cpp - lucas/ref lookalike --------------------------==//
+//
+// Lucas-Lehmer primality testing via FFT-based squaring: every outer
+// iteration runs a fixed cascade of butterfly passes whose strides double
+// each pass, followed by carry propagation. Metronomically regular — the
+// per-pass loops have near-zero variance across the entire run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "workloads/Access.h"
+#include "workloads/Workloads.h"
+
+using namespace spm;
+
+Workload spm::makeLucas() {
+  ProgramBuilder PB("lucas");
+  uint32_t Data = PB.region(MemRegionSpec::param("fftdata", "fft_kb", 1024));
+  uint32_t Twiddle = PB.region(MemRegionSpec::fixed("twiddle", 64 * 1024));
+
+  uint32_t Main = PB.declare("main");
+  uint32_t FftPass = PB.declare("fft_pass");
+  uint32_t Carry = PB.declare("carry_propagate");
+
+  PB.define(FftPass, [&](FunctionBuilder &F) {
+    // One butterfly pass: the stride pattern cycles with the pass index.
+    F.loop(TripCountSpec::param("butterflies"), [&] {
+      F.code(2, 6, {seqLoad(Data, 2, 128), seqLoad(Twiddle, 1),
+                    seqStore(Data, 2, 128)});
+    });
+  });
+
+  PB.define(Carry, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::param("butterflies", 2, 1), [&] {
+      F.code(4, 1, {seqLoad(Data, 1), seqStore(Data, 1)});
+    });
+  });
+
+  PB.define(Main, [&](FunctionBuilder &F) {
+    F.code(15, 2, {seqLoad(Data, 4)});
+    F.loop(TripCountSpec::param("squarings"), [&] {
+      F.loop(TripCountSpec::constant(10), [&] { F.call(FftPass); });
+      F.call(Carry);
+    });
+  });
+
+  Workload W;
+  W.Name = "lucas";
+  W.RefLabel = "ref";
+  W.Program = PB.take();
+  W.Train = WorkloadInput("train", 1010);
+  W.Train.set("squarings", 9).set("butterflies", 500).set("fft_kb", 180);
+  W.Ref = WorkloadInput("ref", 2010);
+  W.Ref.set("squarings", 22).set("butterflies", 800).set("fft_kb", 360);
+  return W;
+}

@@ -1,0 +1,57 @@
+//===- workloads/Mcf.cpp - mcf/ref lookalike ------------------------------==//
+//
+// Network-simplex minimum-cost flow: alternating pricing scans (sequential
+// sweep over a huge arc array) and pivot operations (pointer chasing along
+// tree edges in the node array). Memory-bound throughout — mcf is the
+// canonical cache-hostile SPEC program — with a regular two-kernel
+// alternation the markers latch onto.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "workloads/Access.h"
+#include "workloads/Workloads.h"
+
+using namespace spm;
+
+Workload spm::makeMcf() {
+  ProgramBuilder PB("mcf");
+  uint32_t Arcs = PB.region(MemRegionSpec::param("arcs", "arcs_kb", 1024));
+  uint32_t Nodes = PB.region(MemRegionSpec::param("nodes", "nodes_kb", 1024));
+
+  uint32_t Main = PB.declare("main");
+  uint32_t PriceScan = PB.declare("price_out");
+  uint32_t Pivot = PB.declare("pivot_update");
+
+  PB.define(PriceScan, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::paramUniform("scan_arcs", 9, 11, 10), [&] {
+      F.code(6, 0, {seqLoad(Arcs, 2, 32), randLoad(Nodes, 1)});
+    });
+  });
+
+  PB.define(Pivot, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::uniform(150, 900), [&] {
+      F.code(5, 0, {chaseLoad(Nodes, 2), randStore(Nodes, 1)});
+    });
+  });
+
+  PB.define(Main, [&](FunctionBuilder &F) {
+    F.code(30, 0, {seqLoad(Nodes, 8)});
+    F.loop(TripCountSpec::param("iterations"), [&] {
+      F.call(PriceScan);
+      F.call(Pivot);
+    });
+  });
+
+  Workload W;
+  W.Name = "mcf";
+  W.RefLabel = "ref";
+  W.Program = PB.take();
+  W.Train = WorkloadInput("train", 1007);
+  W.Train.set("iterations", 22).set("scan_arcs", 2200).set("arcs_kb", 300)
+      .set("nodes_kb", 200);
+  W.Ref = WorkloadInput("ref", 2007);
+  W.Ref.set("iterations", 60).set("scan_arcs", 3200).set("arcs_kb", 600)
+      .set("nodes_kb", 400);
+  return W;
+}

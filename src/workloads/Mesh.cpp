@@ -1,0 +1,57 @@
+//===- workloads/Mesh.cpp - mesh lookalike --------------------------------==//
+//
+// Unstructured-mesh FEM kernel: each iteration gathers over the edge list
+// (indirect random reads of node data — working set is the node array),
+// then updates nodes in a streaming pass. The alternation of a
+// gather-bound phase and a stream-bound phase gives reconfiguration a
+// clean target.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "workloads/Access.h"
+#include "workloads/Workloads.h"
+
+using namespace spm;
+
+Workload spm::makeMesh() {
+  ProgramBuilder PB("mesh");
+  uint32_t Nodes = PB.region(MemRegionSpec::param("nodes", "nodes_kb", 1024));
+  uint32_t Edges = PB.region(MemRegionSpec::param("edges", "nodes_kb", 2048));
+  uint32_t Work = PB.region(MemRegionSpec::fixed("work", 16 * 1024));
+
+  uint32_t Main = PB.declare("main");
+  uint32_t EdgeGather = PB.declare("edge_gather");
+  uint32_t NodeUpdate = PB.declare("node_update");
+
+  PB.define(EdgeGather, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::param("edges_n"), [&] {
+      F.code(3, 5, {seqLoad(Edges, 1, 64), randLoad(Nodes, 2),
+                    pointStore(Work, 256)});
+    });
+  });
+
+  PB.define(NodeUpdate, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::param("edges_n", 1, 2), [&] {
+      F.code(2, 4, {seqLoad(Edges, 2, 64), seqStore(Nodes, 1, 64)});
+    });
+  });
+
+  PB.define(Main, [&](FunctionBuilder &F) {
+    F.code(20, 0, {seqLoad(Nodes, 6)});
+    F.loop(TripCountSpec::param("iterations"), [&] {
+      F.call(EdgeGather);
+      F.call(NodeUpdate);
+    });
+  });
+
+  Workload W;
+  W.Name = "mesh";
+  W.RefLabel = "ref";
+  W.Program = PB.take();
+  W.Train = WorkloadInput("train", 1015);
+  W.Train.set("iterations", 20).set("edges_n", 1400).set("nodes_kb", 56);
+  W.Ref = WorkloadInput("ref", 2015);
+  W.Ref.set("iterations", 50).set("edges_n", 2000).set("nodes_kb", 64);
+  return W;
+}

@@ -1,0 +1,70 @@
+//===- workloads/Mgrid.cpp - mgrid/ref lookalike --------------------------==//
+//
+// Multigrid V-cycles: per time step the solver smooths, restricts down a
+// hierarchy of grids whose sizes shrink geometrically, then prolongs back
+// up. The hierarchical loop structure (same code, four grid scales) is
+// exactly the multi-granularity phase shape the call-loop graph's
+// head/body split is built to capture.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "workloads/Access.h"
+#include "workloads/Workloads.h"
+
+using namespace spm;
+
+Workload spm::makeMgrid() {
+  ProgramBuilder PB("mgrid");
+  uint32_t Fine = PB.region(MemRegionSpec::param("fine", "grid_kb", 1024));
+  uint32_t Coarse = PB.region(MemRegionSpec::fixed("coarse", 96 * 1024));
+
+  uint32_t Main = PB.declare("main");
+  uint32_t Smooth = PB.declare("smooth");
+  uint32_t Restrict = PB.declare("restrict_grid");
+  uint32_t Prolong = PB.declare("prolong_grid");
+
+  // The per-call grid size cycles 4 levels: fine -> coarse -> coarser...
+  // modeled with a schedule on the sweep trip count (per-site cursor).
+  PB.define(Smooth, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::schedule({4096, 512, 64, 8}), [&] {
+      F.code(2, 7, {seqLoad(Fine, 3), seqStore(Fine, 1)});
+    });
+  });
+
+  PB.define(Restrict, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::schedule({512, 64, 8}), [&] {
+      F.code(2, 5, {seqLoad(Fine, 2, 32), seqStore(Coarse, 1)});
+    });
+  });
+
+  PB.define(Prolong, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::schedule({8, 64, 512}), [&] {
+      F.code(2, 5, {seqLoad(Coarse, 1), seqStore(Fine, 2, 32)});
+    });
+  });
+
+  PB.define(Main, [&](FunctionBuilder &F) {
+    F.code(20, 0, {seqLoad(Fine, 6)});
+    F.loop(TripCountSpec::param("timesteps"), [&] {
+      // Descend the V: smooth+restrict at each of 3 level transitions.
+      F.loop(TripCountSpec::constant(3), [&] {
+        F.call(Smooth);
+        F.call(Restrict);
+      });
+      F.call(Smooth); // Coarsest solve.
+      // Ascend.
+      F.loop(TripCountSpec::constant(3), [&] { F.call(Prolong); });
+    });
+  });
+
+  Workload W;
+  W.Name = "mgrid";
+  W.RefLabel = "ref";
+  W.Program = PB.take();
+  W.Train = WorkloadInput("train", 1011);
+  W.Train.set("timesteps", 14).set("grid_kb", 160);
+  W.Ref = WorkloadInput("ref", 2011);
+  W.Ref.set("timesteps", 40).set("grid_kb", 320);
+  return W;
+}

@@ -1,0 +1,75 @@
+//===- workloads/Perlbmk.cpp - perlbmk/diffmail lookalike -----------------==//
+//
+// A bytecode interpreter processing a stream of mail messages: the classic
+// dispatch-loop shape. Per opcode the behavior is tiny and irregular
+// (weighted indirect dispatch over handler routines), but at the
+// per-message granularity the work is stable — phases live at the outer
+// loop, not in the dispatch noise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "workloads/Access.h"
+#include "workloads/Workloads.h"
+
+using namespace spm;
+
+Workload spm::makePerlbmk() {
+  ProgramBuilder PB("perlbmk");
+  uint32_t Heap = PB.region(MemRegionSpec::param("heap", "heap_kb", 1024));
+  uint32_t Stack = PB.region(MemRegionSpec::fixed("stack", 16 * 1024));
+  uint32_t Code = PB.region(MemRegionSpec::fixed("bytecode", 96 * 1024));
+  uint32_t Out = PB.region(MemRegionSpec::fixed("out", 64 * 1024));
+
+  uint32_t Main = PB.declare("main");
+  uint32_t RunMessage = PB.declare("run_message");
+  uint32_t OpArith = PB.declare("op_arith");
+  uint32_t OpString = PB.declare("op_string");
+  uint32_t OpHash = PB.declare("op_hash");
+  uint32_t OpMatch = PB.declare("op_match");
+  uint32_t OpPrint = PB.declare("op_print");
+
+  PB.define(OpArith, [&](FunctionBuilder &F) {
+    F.code(4, 0, {pointLoad(Stack, 0), pointStore(Stack, 0)});
+  });
+  PB.define(OpString, [&](FunctionBuilder &F) {
+    F.code(6, 0, {randLoad(Heap, 1), randStore(Heap, 1)});
+  });
+  PB.define(OpHash, [&](FunctionBuilder &F) {
+    F.code(5, 0, {randLoad(Heap, 2)});
+  });
+  PB.define(OpMatch, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::uniform(2, 12), [&] {
+      F.code(4, 0, {seqLoad(Heap, 1)});
+    });
+  });
+  PB.define(OpPrint, [&](FunctionBuilder &F) {
+    F.code(3, 0, {seqStore(Out, 1)});
+  });
+
+  PB.define(RunMessage, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::paramUniform("ops_per_msg", 9, 11, 10), [&] {
+      F.code(3, 0, {seqLoad(Code, 1)}); // Fetch/decode.
+      F.callOneOf({{OpArith, 30},
+                   {OpString, 20},
+                   {OpHash, 18},
+                   {OpMatch, 12},
+                   {OpPrint, 20}});
+    });
+  });
+
+  PB.define(Main, [&](FunctionBuilder &F) {
+    F.code(20, 0, {seqLoad(Code, 6)});
+    F.loop(TripCountSpec::param("messages"), [&] { F.call(RunMessage); });
+  });
+
+  Workload W;
+  W.Name = "perlbmk";
+  W.RefLabel = "diffmail";
+  W.Program = PB.take();
+  W.Train = WorkloadInput("train", 1005);
+  W.Train.set("messages", 18).set("ops_per_msg", 1800).set("heap_kb", 96);
+  W.Ref = WorkloadInput("ref", 2005);
+  W.Ref.set("messages", 55).set("ops_per_msg", 2600).set("heap_kb", 200);
+  return W;
+}

@@ -1,0 +1,60 @@
+//===- workloads/Registry.cpp ---------------------------------------------==//
+
+#include "workloads/Workloads.h"
+
+#include <cassert>
+
+using namespace spm;
+
+std::vector<std::string> WorkloadRegistry::behaviorSuite() {
+  return {"art",  "bzip2",   "galgel", "gcc",    "gzip", "lucas",
+          "mcf",  "mgrid",   "perlbmk", "vortex", "vpr"};
+}
+
+std::vector<std::string> WorkloadRegistry::reconfigSuite() {
+  return {"applu", "compress95", "mesh", "swim", "tomcatv"};
+}
+
+std::vector<std::string> WorkloadRegistry::allNames() {
+  std::vector<std::string> All = behaviorSuite();
+  for (const std::string &N : reconfigSuite())
+    All.push_back(N);
+  return All;
+}
+
+Workload WorkloadRegistry::create(const std::string &Name) {
+  if (Name == "art")
+    return makeArt();
+  if (Name == "bzip2")
+    return makeBzip2();
+  if (Name == "galgel")
+    return makeGalgel();
+  if (Name == "gcc")
+    return makeGcc();
+  if (Name == "gzip")
+    return makeGzip();
+  if (Name == "lucas")
+    return makeLucas();
+  if (Name == "mcf")
+    return makeMcf();
+  if (Name == "mgrid")
+    return makeMgrid();
+  if (Name == "perlbmk")
+    return makePerlbmk();
+  if (Name == "vortex")
+    return makeVortex();
+  if (Name == "vpr")
+    return makeVpr();
+  if (Name == "tomcatv")
+    return makeTomcatv();
+  if (Name == "swim")
+    return makeSwim();
+  if (Name == "compress95")
+    return makeCompress95();
+  if (Name == "mesh")
+    return makeMesh();
+  if (Name == "applu")
+    return makeApplu();
+  assert(false && "unknown workload name");
+  return Workload();
+}

@@ -1,0 +1,73 @@
+//===- workloads/Swim.cpp - swim lookalike --------------------------------==//
+//
+// Shallow-water modeling: per time step the classic calc1/calc2/calc3
+// stencil sweeps over the velocity and pressure grids, plus a periodic
+// smoothing pass over a small boundary slice. Extremely regular; in the
+// paper's Fig. 10 set the average CoV of hierarchical instruction counts
+// in marked loops is under 1% for these codes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "workloads/Access.h"
+#include "workloads/Workloads.h"
+
+using namespace spm;
+
+Workload spm::makeSwim() {
+  ProgramBuilder PB("swim");
+  uint32_t UV = PB.region(MemRegionSpec::param("uv", "grid_kb", 1024));
+  uint32_t P = PB.region(MemRegionSpec::param("p", "grid_kb", 512));
+  uint32_t UVNew = PB.region(MemRegionSpec::param("uvnew", "grid_kb", 1024));
+  uint32_t Bound = PB.region(MemRegionSpec::fixed("boundary", 24 * 1024));
+  uint32_t Interp = PB.region(MemRegionSpec::fixed("interp", 56 * 1024));
+
+  uint32_t Main = PB.declare("main");
+  uint32_t Calc1 = PB.declare("calc1");
+  uint32_t Calc2 = PB.declare("calc2");
+  uint32_t Calc3 = PB.declare("calc3");
+  uint32_t SmoothBound = PB.declare("smooth_boundary");
+
+  PB.define(Calc1, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::param("cells"), [&] {
+      F.code(2, 8, {seqLoad(UV, 2, 64), seqLoad(P, 1, 64),
+                    seqStore(UVNew, 1, 64)});
+    });
+  });
+  PB.define(Calc2, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::param("cells"), [&] {
+      F.code(2, 7, {randLoad(Interp, 3)});
+    });
+  });
+  PB.define(Calc3, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::param("cells"), [&] {
+      F.code(2, 6, {seqLoad(UVNew, 1, 64), seqLoad(P, 1, 64),
+                    seqStore(UV, 2, 64)});
+    });
+  });
+  PB.define(SmoothBound, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::param("cells", 1, 2), [&] {
+      F.code(3, 3, {randLoad(Bound, 2), randStore(Bound, 1)});
+    });
+  });
+
+  PB.define(Main, [&](FunctionBuilder &F) {
+    F.code(20, 0, {seqLoad(UV, 6)});
+    F.loop(TripCountSpec::param("timesteps"), [&] {
+      F.call(Calc1);
+      F.call(Calc2);
+      F.call(Calc3);
+      F.branch(CondSpec::periodic(4, 1), [&] { F.call(SmoothBound); });
+    });
+  });
+
+  Workload W;
+  W.Name = "swim";
+  W.RefLabel = "ref";
+  W.Program = PB.take();
+  W.Train = WorkloadInput("train", 1013);
+  W.Train.set("timesteps", 20).set("cells", 1000).set("grid_kb", 560);
+  W.Ref = WorkloadInput("ref", 2013);
+  W.Ref.set("timesteps", 50).set("cells", 1500).set("grid_kb", 640);
+  return W;
+}

@@ -1,0 +1,77 @@
+//===- workloads/Tomcatv.cpp - tomcatv lookalike --------------------------==//
+//
+// Vectorized mesh generation: each time step runs a fixed cascade of
+// sweeps over the 2D coordinate arrays (row-order streaming), a residual
+// computation over a small hot slice, and a relaxation update. One of the
+// five programs Shen et al. evaluated cache reconfiguration on; its phases
+// alternate between streaming (size-insensitive) and a small hot working
+// set (fits the smallest configuration), so the adaptive schemes shrink
+// the cache substantially below the best fixed size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "workloads/Access.h"
+#include "workloads/Workloads.h"
+
+using namespace spm;
+
+Workload spm::makeTomcatv() {
+  ProgramBuilder PB("tomcatv");
+  uint32_t MeshXY = PB.region(MemRegionSpec::param("mesh", "mesh_kb", 1024));
+  uint32_t Rhs = PB.region(MemRegionSpec::param("rhs", "mesh_kb", 512));
+  uint32_t Resid = PB.region(MemRegionSpec::fixed("resid", 20 * 1024));
+  uint32_t Coef = PB.region(MemRegionSpec::fixed("coef", 96 * 1024));
+
+  uint32_t Main = PB.declare("main");
+  uint32_t SweepForward = PB.declare("sweep_forward");
+  uint32_t SweepBackward = PB.declare("sweep_backward");
+  uint32_t SolveCoef = PB.declare("solve_coef");
+  uint32_t Residual = PB.declare("residual");
+
+  PB.define(SweepForward, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::param("points"), [&] {
+      F.code(2, 7, {seqLoad(MeshXY, 2, 64), seqStore(Rhs, 1, 64)});
+    });
+  });
+
+  PB.define(SweepBackward, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::param("points"), [&] {
+      F.code(2, 6, {seqLoad(Rhs, 1, 64), seqStore(MeshXY, 2, 64)});
+    });
+  });
+
+  PB.define(SolveCoef, [&](FunctionBuilder &F) {
+    // Tridiagonal coefficient solve: hot mid-size table, no streaming.
+    F.loop(TripCountSpec::param("points", 2, 1), [&] {
+      F.code(3, 5, {randLoad(Coef, 2), randStore(Coef, 1)});
+    });
+  });
+
+  PB.define(Residual, [&](FunctionBuilder &F) {
+    // Hot, small working set: repeatedly reduces into a 20KB buffer.
+    F.loop(TripCountSpec::param("points", 3, 2), [&] {
+      F.code(3, 4, {randLoad(Resid, 2), randStore(Resid, 1)});
+    });
+  });
+
+  PB.define(Main, [&](FunctionBuilder &F) {
+    F.code(20, 0, {seqLoad(MeshXY, 6)});
+    F.loop(TripCountSpec::param("timesteps"), [&] {
+      F.call(SweepForward);
+      F.call(SolveCoef);
+      F.call(SweepBackward);
+      F.call(Residual);
+    });
+  });
+
+  Workload W;
+  W.Name = "tomcatv";
+  W.RefLabel = "ref";
+  W.Program = PB.take();
+  W.Train = WorkloadInput("train", 1012);
+  W.Train.set("timesteps", 18).set("points", 1100).set("mesh_kb", 560);
+  W.Ref = WorkloadInput("ref", 2012);
+  W.Ref.set("timesteps", 45).set("points", 1600).set("mesh_kb", 700);
+  return W;
+}

@@ -1,0 +1,79 @@
+//===- workloads/Vortex.cpp - vortex/one lookalike ------------------------==//
+//
+// An object-oriented database running a stream of transactions. Code is
+// spread across many small procedures (the OO style the paper notes favors
+// procedure-level analysis), but the per-transaction work is irregular:
+// tree walks over a large object store with data-dependent depth. Like
+// gcc, vortex resists data-locality phase detection but retains stable
+// call structure at the transaction-batch level.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "workloads/Access.h"
+#include "workloads/Workloads.h"
+
+using namespace spm;
+
+Workload spm::makeVortex() {
+  ProgramBuilder PB("vortex");
+  uint32_t Store = PB.region(MemRegionSpec::param("store", "db_kb", 1024));
+  uint32_t Index = PB.region(MemRegionSpec::fixed("index", 192 * 1024));
+  uint32_t Log = PB.region(MemRegionSpec::fixed("log", 64 * 1024));
+
+  uint32_t Main = PB.declare("main");
+  uint32_t TxnBatch = PB.declare("txn_batch");
+  uint32_t Insert = PB.declare("obj_insert");
+  uint32_t Lookup = PB.declare("obj_lookup");
+  uint32_t Update = PB.declare("obj_update");
+  uint32_t TreeWalk = PB.declare("tree_walk");
+  uint32_t WriteLog = PB.declare("write_log");
+
+  PB.define(TreeWalk, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::uniform(4, 60), [&] {
+      F.code(5, 0, {chaseLoad(Index, 1), randLoad(Store, 1)});
+    });
+  });
+
+  PB.define(WriteLog, [&](FunctionBuilder &F) {
+    F.code(4, 0, {seqStore(Log, 2)});
+  });
+
+  PB.define(Insert, [&](FunctionBuilder &F) {
+    F.call(TreeWalk);
+    F.code(8, 0, {randStore(Store, 2), randStore(Index, 1)});
+    F.call(WriteLog);
+  });
+
+  PB.define(Lookup, [&](FunctionBuilder &F) {
+    F.call(TreeWalk);
+    F.code(6, 0, {randLoad(Store, 2)});
+  });
+
+  PB.define(Update, [&](FunctionBuilder &F) {
+    F.call(TreeWalk);
+    F.code(7, 0, {randLoad(Store, 1), randStore(Store, 1)});
+    F.call(WriteLog);
+  });
+
+  PB.define(TxnBatch, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::paramUniform("batch", 8, 12, 10), [&] {
+      F.callOneOf({{Insert, 2}, {Lookup, 5}, {Update, 3}});
+    });
+  });
+
+  PB.define(Main, [&](FunctionBuilder &F) {
+    F.code(25, 0, {seqLoad(Store, 8)});
+    F.loop(TripCountSpec::param("batches"), [&] { F.call(TxnBatch); });
+  });
+
+  Workload W;
+  W.Name = "vortex";
+  W.RefLabel = "one";
+  W.Program = PB.take();
+  W.Train = WorkloadInput("train", 1004);
+  W.Train.set("batches", 25).set("batch", 120).set("db_kb", 200);
+  W.Ref = WorkloadInput("ref", 2004);
+  W.Ref.set("batches", 70).set("batch", 170).set("db_kb", 420);
+  return W;
+}

@@ -1,0 +1,66 @@
+//===- workloads/Vpr.cpp - vpr/route lookalike ----------------------------==//
+//
+// FPGA routing: a loop over nets, each routed by a wavefront expansion
+// over a large routing-resource graph (random/pointer access), with a
+// periodic rip-up-and-reroute sweep every few nets. Net sizes vary, so
+// per-net work is moderately variable while the per-pass structure is
+// stable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "workloads/Access.h"
+#include "workloads/Workloads.h"
+
+using namespace spm;
+
+Workload spm::makeVpr() {
+  ProgramBuilder PB("vpr");
+  uint32_t RrGraph = PB.region(MemRegionSpec::param("rr", "grid_kb", 1024));
+  uint32_t Heap = PB.region(MemRegionSpec::fixed("pqueue", 96 * 1024));
+  uint32_t Trace = PB.region(MemRegionSpec::fixed("trace", 64 * 1024));
+
+  uint32_t Main = PB.declare("main");
+  uint32_t RouteNet = PB.declare("route_net");
+  uint32_t Expand = PB.declare("expand_neighbors");
+  uint32_t RipUp = PB.declare("rip_up");
+
+  PB.define(Expand, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::uniform(3, 6), [&] {
+      F.code(6, 0, {randLoad(RrGraph, 1), randStore(Heap, 1)});
+    });
+  });
+
+  PB.define(RouteNet, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::uniform(60, 300), [&] {
+      F.code(5, 0, {randLoad(Heap, 1), chaseLoad(RrGraph, 1)});
+      F.call(Expand);
+    });
+    F.code(10, 0, {seqStore(Trace, 4)});
+  });
+
+  PB.define(RipUp, [&](FunctionBuilder &F) {
+    F.loop(TripCountSpec::paramUniform("ripup_work", 9, 11, 10), [&] {
+      F.code(4, 0, {seqLoad(Trace, 1), randStore(RrGraph, 1)});
+    });
+  });
+
+  PB.define(Main, [&](FunctionBuilder &F) {
+    F.code(20, 0, {seqLoad(RrGraph, 8)});
+    F.loop(TripCountSpec::param("nets"), [&] {
+      F.call(RouteNet);
+      // Congestion-driven rip-up every 8th net.
+      F.branch(CondSpec::periodic(8, 1), [&] { F.call(RipUp); });
+    });
+  });
+
+  Workload W;
+  W.Name = "vpr";
+  W.RefLabel = "route";
+  W.Program = PB.take();
+  W.Train = WorkloadInput("train", 1006);
+  W.Train.set("nets", 90).set("ripup_work", 900).set("grid_kb", 180);
+  W.Ref = WorkloadInput("ref", 2006);
+  W.Ref.set("nets", 260).set("ripup_work", 1400).set("grid_kb", 360);
+  return W;
+}

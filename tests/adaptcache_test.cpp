@@ -1,0 +1,139 @@
+//===- tests/adaptcache_test.cpp - Sec. 6.1 reconfiguration ---------------==//
+
+#include "adaptcache/Policies.h"
+#include "ir/Lowering.h"
+#include "markers/Selector.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace spm;
+
+namespace {
+
+struct Prepared {
+  std::unique_ptr<Binary> Bin;
+  LoopIndex Loops;
+  std::unique_ptr<CallLoopGraph> Graph;
+  MarkerSet Markers;
+  Workload W;
+
+  explicit Prepared(const std::string &Name)
+      : W(WorkloadRegistry::create(Name)) {
+    Bin = lower(*W.Program, LoweringOptions::O2());
+    Loops = LoopIndex::build(*Bin);
+    Graph = buildCallLoopGraph(*Bin, Loops, W.Train);
+    SelectorConfig C;
+    C.ILower = 10000;
+    Markers = selectMarkers(*Graph, C).Markers;
+  }
+};
+
+} // namespace
+
+TEST(AdaptiveCache, EngineExploresThenLocks) {
+  AdaptiveCacheEngine Engine;
+  // Synthesize a run: phase 7 recurs; its accesses fit 32KB.
+  LoweredBlock Blk;
+  Blk.NumInstrs = 100;
+  for (int Interval = 0; Interval < 6; ++Interval) {
+    Engine.onPhaseBoundary(7);
+    for (int I = 0; I < 2000; ++I) {
+      Engine.onBlock(Blk);
+      Engine.onMemAccess((1ull << 32) + (I % 256) * 64, false);
+    }
+  }
+  Engine.onRunEnd(0);
+  AdaptiveCacheResult R = Engine.result();
+  EXPECT_EQ(R.Intervals, 6u);
+  EXPECT_EQ(R.Explorations, 2u); // First two intervals of phase 7.
+  // After locking, phase 7 runs at the smallest size.
+  EXPECT_DOUBLE_EQ(Engine.chosenSizeKB(7), 32.0);
+  // Weighted average: 2 intervals at 256KB + 4 at 32KB over 6 equal ones.
+  EXPECT_NEAR(R.AvgCacheKB, (2 * 256.0 + 4 * 32.0) / 6.0, 1.0);
+}
+
+TEST(AdaptiveCache, BigWorkingSetKeepsBigCache) {
+  AdaptiveCacheEngine Engine;
+  LoweredBlock Blk;
+  Blk.NumInstrs = 100;
+  Rng R(3);
+  for (int Interval = 0; Interval < 5; ++Interval) {
+    Engine.onPhaseBoundary(1);
+    for (int I = 0; I < 12000; ++I) {
+      Engine.onBlock(Blk);
+      // 220KB working set: only the 256KB config avoids capacity misses.
+      Engine.onMemAccess((1ull << 32) + R.nextBelow(3520) * 64, false);
+    }
+  }
+  Engine.onRunEnd(0);
+  EXPECT_GE(Engine.chosenSizeKB(1), 224.0);
+}
+
+TEST(AdaptiveCache, BestFixedSizePicksSmallestAdequate) {
+  Prepared P("compress95");
+  FixedSizeResult R = bestFixedSize(*P.Bin, P.W.Ref);
+  ASSERT_EQ(R.PerConfig.size(), 8u);
+  // LRU inclusion: hit rate is monotone in associativity.
+  for (size_t I = 1; I < 8; ++I)
+    EXPECT_GE(R.PerConfig[I].hitRate() + 1e-12, R.PerConfig[I - 1].hitRate());
+  // compress95's hash table (~160KB) needs one of the larger configs.
+  EXPECT_GE(R.BestFixedKB, 160.0) << "hash table should demand a big cache";
+}
+
+TEST(AdaptiveCache, MarkersShrinkCacheBelowBestFixed) {
+  // The headline of Fig. 10: phase-aware reconfiguration runs, on average,
+  // a much smaller cache than the best fixed size, without hurting the
+  // miss rate much.
+  Prepared P("compress95");
+  ASSERT_GT(P.Markers.size(), 0u);
+  AdaptiveCacheResult A =
+      runAdaptiveWithMarkers(*P.Bin, P.Loops, *P.Graph, P.Markers, P.W.Ref);
+  FixedSizeResult F = bestFixedSize(*P.Bin, P.W.Ref);
+  EXPECT_LT(A.AvgCacheKB, F.BestFixedKB * 0.85);
+  // Served miss rate stays in the neighborhood of the best fixed cache.
+  EXPECT_LT(A.MissRate, F.PerConfig[F.BestIdx].missRate() + 0.05);
+}
+
+TEST(AdaptiveCache, OracleBbvAlsoShrinks) {
+  Prepared P("compress95");
+  AdaptiveCacheResult R =
+      runAdaptiveWithOracleBbv(*P.Bin, P.W.Ref, /*FixedLen=*/10000);
+  EXPECT_GT(R.Intervals, 50u);
+  EXPECT_LT(R.AvgCacheKB, 256.0);
+  EXPECT_GT(R.AvgCacheKB, 32.0 - 1e-9);
+}
+
+TEST(AdaptiveCache, ReuseMarkersComparableOnRegularProgram) {
+  Prepared P("compress95");
+  ReuseMarkerSet RM = profileReuseMarkers(*P.Bin, P.W.Train);
+  ASSERT_FALSE(RM.empty());
+  AdaptiveCacheResult Reuse =
+      runAdaptiveWithReuseMarkers(*P.Bin, RM, P.W.Ref);
+  AdaptiveCacheResult Spm =
+      runAdaptiveWithMarkers(*P.Bin, P.Loops, *P.Graph, P.Markers, P.W.Ref);
+  // The paper: "our simple software phase marking approach is as effective
+  // as the more complicated reuse distance-based approach" — sizes within
+  // a factor of ~1.5 of each other on the regular suite.
+  EXPECT_LT(Spm.AvgCacheKB, Reuse.AvgCacheKB * 1.5 + 16.0);
+}
+
+TEST(AdaptiveCache, EmptyReuseMarkersDegradeToSafeSize) {
+  // gcc defeats the reuse baseline; with no markers the policy must stay
+  // at the largest configuration (it can never finish exploring).
+  Workload W = WorkloadRegistry::create("gcc");
+  auto B = lower(*W.Program, LoweringOptions::O2());
+  ReuseMarkerSet Empty;
+  AdaptiveCacheResult R = runAdaptiveWithReuseMarkers(*B, Empty, W.Train);
+  EXPECT_NEAR(R.AvgCacheKB, 256.0, 1e-6);
+}
+
+TEST(AdaptiveCache, CrossTrainMarkersWorkToo) {
+  // Markers from the train profile applied to ref (SPM-Cross in Fig. 10).
+  Prepared P("tomcatv");
+  ASSERT_GT(P.Markers.size(), 0u);
+  AdaptiveCacheResult Cross =
+      runAdaptiveWithMarkers(*P.Bin, P.Loops, *P.Graph, P.Markers, P.W.Ref);
+  EXPECT_GT(Cross.Intervals, 20u);
+  EXPECT_LT(Cross.AvgCacheKB, 256.0);
+}

@@ -1,0 +1,247 @@
+//===- tests/ir_test.cpp - mini-IR unit tests -----------------------------==//
+
+#include "ir/Builder.h"
+#include "ir/Lowering.h"
+#include "ir/Printer.h"
+#include "ir/Verify.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace spm;
+
+namespace {
+
+MemAccessSpec seqLoadSpec(uint32_t Region) {
+  MemAccessSpec M;
+  M.RegionIdx = Region;
+  M.Pat = MemAccessSpec::Pattern::Sequential;
+  return M;
+}
+
+/// A small two-function program with a nested loop, an if, and a call —
+/// the shape of Fig. 1 in the paper.
+std::unique_ptr<SourceProgram> buildSample() {
+  ProgramBuilder PB("sample");
+  uint32_t Buf = PB.region(MemRegionSpec::fixed("buf", 4096));
+  uint32_t Main = PB.declare("main");
+  uint32_t Helper = PB.declare("helper");
+  PB.define(Helper, [&](FunctionBuilder &F) {
+    F.code(5, 1, {seqLoadSpec(Buf)});
+  });
+  PB.define(Main, [&](FunctionBuilder &F) {
+    F.code(2);
+    F.loop(TripCountSpec::constant(10), [&] {
+      F.loop(TripCountSpec::constant(3), [&] { F.code(4); });
+      F.branch(CondSpec::bernoulli(0.5), [&] { F.call(Helper); },
+               [&] { F.code(1); });
+    });
+  });
+  return PB.take();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Builder / source program
+//===----------------------------------------------------------------------===//
+
+TEST(Builder, AssignsUniqueStmtIds) {
+  auto P = buildSample();
+  std::set<uint32_t> Ids;
+  std::function<void(const StmtList &)> Walk = [&](const StmtList &L) {
+    for (const StmtPtr &S : L) {
+      EXPECT_TRUE(Ids.insert(S->stmtId()).second)
+          << "duplicate stmt id " << S->stmtId();
+      switch (S->kind()) {
+      case Stmt::Kind::Loop:
+        Walk(static_cast<LoopStmt &>(*S).Body);
+        break;
+      case Stmt::Kind::If:
+        Walk(static_cast<IfStmt &>(*S).Then);
+        Walk(static_cast<IfStmt &>(*S).Else);
+        break;
+      default:
+        break;
+      }
+    }
+  };
+  for (const auto &F : P->Functions)
+    Walk(F->Body);
+  EXPECT_EQ(Ids.size(), P->NextStmtId);
+}
+
+TEST(Builder, SampleVerifies) {
+  auto P = buildSample();
+  EXPECT_EQ(verify(*P), "");
+}
+
+TEST(Builder, DetectsUnguardedRecursion) {
+  ProgramBuilder PB("rec");
+  uint32_t F = PB.declare("f");
+  PB.define(F, [&](FunctionBuilder &B) { B.call(F); });
+  auto P = PB.take();
+  EXPECT_NE(verify(*P), "");
+}
+
+TEST(Builder, GuardedRecursionVerifies) {
+  ProgramBuilder PB("rec");
+  uint32_t F = PB.declare("f");
+  PB.define(F, [&](FunctionBuilder &B) {
+    B.code(1);
+    B.callIf(F, 0.5);
+  });
+  auto P = PB.take();
+  EXPECT_EQ(verify(*P), "");
+}
+
+TEST(Builder, RejectsBadRegionReference) {
+  ProgramBuilder PB("bad");
+  uint32_t F = PB.declare("f");
+  PB.define(F, [&](FunctionBuilder &B) {
+    MemAccessSpec M;
+    M.RegionIdx = 7; // No regions declared.
+    B.code(1, 0, {M});
+  });
+  auto P = PB.take();
+  EXPECT_NE(verify(*P), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering
+//===----------------------------------------------------------------------===//
+
+TEST(Lowering, BinaryVerifies) {
+  auto P = buildSample();
+  for (const auto &Opts : {LoweringOptions::O0(), LoweringOptions::O2()}) {
+    auto B = lower(*P, Opts);
+    EXPECT_EQ(verify(*B), "") << "opt level " << Opts.OptLevel;
+  }
+}
+
+TEST(Lowering, AddressesStrictlyIncrease) {
+  auto B = lower(*buildSample(), LoweringOptions::O2());
+  uint64_t Prev = 0;
+  for (const LoweredBlock &Blk : B->Blocks) {
+    EXPECT_GE(Blk.Addr, Prev);
+    Prev = Blk.endAddr();
+  }
+}
+
+TEST(Lowering, O0ExpandsInstructions) {
+  auto P = buildSample();
+  auto B0 = lower(*P, LoweringOptions::O0());
+  auto B2 = lower(*P, LoweringOptions::O2());
+  // Same block structure...
+  ASSERT_EQ(B0->Blocks.size(), B2->Blocks.size());
+  uint64_t Total0 = 0, Total2 = 0;
+  for (size_t I = 0; I < B0->Blocks.size(); ++I) {
+    EXPECT_EQ(B0->Blocks[I].Role, B2->Blocks[I].Role);
+    EXPECT_EQ(B0->Blocks[I].SrcStmtId, B2->Blocks[I].SrcStmtId);
+    Total0 += B0->Blocks[I].NumInstrs;
+    Total2 += B2->Blocks[I].NumInstrs;
+  }
+  // ...but more static instructions at O0.
+  EXPECT_GT(Total0, Total2);
+}
+
+TEST(Lowering, MemoryAccessesIdenticalAcrossOptLevels) {
+  auto P = buildSample();
+  auto B0 = lower(*P, LoweringOptions::O0());
+  auto B2 = lower(*P, LoweringOptions::O2());
+  ASSERT_EQ(B0->Blocks.size(), B2->Blocks.size());
+  for (size_t I = 0; I < B0->Blocks.size(); ++I)
+    EXPECT_EQ(B0->Blocks[I].MemOps.size(), B2->Blocks[I].MemOps.size());
+  EXPECT_EQ(B0->NumMemSites, B2->NumMemSites);
+}
+
+TEST(Lowering, BlockAtFindsEveryBlock) {
+  auto B = lower(*buildSample(), LoweringOptions::O2());
+  for (const LoweredBlock &Blk : B->Blocks)
+    EXPECT_EQ(B->blockAt(Blk.Addr), static_cast<int32_t>(Blk.GlobalId));
+  EXPECT_EQ(B->blockAt(3), -1);
+}
+
+TEST(Lowering, MixTotalsMatchNumInstrs) {
+  auto B = lower(*buildSample(), LoweringOptions::O0());
+  for (const LoweredBlock &Blk : B->Blocks)
+    EXPECT_EQ(Blk.NumInstrs, Blk.Mix.total());
+}
+
+//===----------------------------------------------------------------------===//
+// Loop recovery from the binary
+//===----------------------------------------------------------------------===//
+
+TEST(LoopIndex, FindsBothLoops) {
+  auto B = lower(*buildSample(), LoweringOptions::O2());
+  LoopIndex LI = LoopIndex::build(*B);
+  EXPECT_EQ(LI.size(), 2u);
+}
+
+TEST(LoopIndex, NestedLoopRegionsAreContained) {
+  auto B = lower(*buildSample(), LoweringOptions::O2());
+  LoopIndex LI = LoopIndex::build(*B);
+  ASSERT_EQ(LI.size(), 2u);
+  // One region must contain the other (the inner loop nests in the outer).
+  const StaticLoop &A = LI.loop(0);
+  const StaticLoop &C = LI.loop(1);
+  bool AInC = C.HeaderAddr <= A.HeaderAddr && A.EndAddr <= C.EndAddr;
+  bool CInA = A.HeaderAddr <= C.HeaderAddr && C.EndAddr <= A.EndAddr;
+  EXPECT_TRUE(AInC || CInA);
+  EXPECT_NE(AInC, CInA);
+}
+
+TEST(LoopIndex, HeaderLookupConsistent) {
+  auto B = lower(*buildSample(), LoweringOptions::O2());
+  LoopIndex LI = LoopIndex::build(*B);
+  for (const StaticLoop &L : LI.loops())
+    EXPECT_EQ(LI.headerLoop(L.HeaderBlock), static_cast<int32_t>(L.Id));
+}
+
+TEST(LoopIndex, LoopsKeepSourceStmt) {
+  auto P = buildSample();
+  auto B0 = lower(*P, LoweringOptions::O0());
+  auto B2 = lower(*P, LoweringOptions::O2());
+  LoopIndex L0 = LoopIndex::build(*B0);
+  LoopIndex L2 = LoopIndex::build(*B2);
+  ASSERT_EQ(L0.size(), L2.size());
+  std::set<uint32_t> S0, S2;
+  for (const StaticLoop &L : L0.loops())
+    S0.insert(L.SrcStmtId);
+  for (const StaticLoop &L : L2.loops())
+    S2.insert(L.SrcStmtId);
+  EXPECT_EQ(S0, S2);
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+TEST(Printer, ProgramDumpMentionsFunctions) {
+  auto P = buildSample();
+  std::string S = printProgram(*P);
+  EXPECT_NE(S.find("func main"), std::string::npos);
+  EXPECT_NE(S.find("func helper"), std::string::npos);
+  EXPECT_NE(S.find("loop"), std::string::npos);
+}
+
+TEST(Printer, BinaryDumpShowsBackBranch) {
+  auto B = lower(*buildSample(), LoweringOptions::O2());
+  std::string S = printBinary(*B);
+  EXPECT_NE(S.find("bwd-br"), std::string::npos);
+  EXPECT_NE(S.find("ret"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Workload programs obey all IR invariants
+//===----------------------------------------------------------------------===//
+
+TEST(Workloads, GzipVerifies) {
+  Workload W = WorkloadRegistry::create("gzip");
+  EXPECT_EQ(verify(*W.Program), "");
+  auto B = lower(*W.Program, LoweringOptions::O2());
+  EXPECT_EQ(verify(*B), "");
+  EXPECT_GT(LoopIndex::build(*B).size(), 0u);
+}

@@ -1,0 +1,115 @@
+//===- tests/phase_test.cpp - Sec. 3.1 metric computations ----------------==//
+
+#include "phase/Metrics.h"
+
+#include <gtest/gtest.h>
+
+using namespace spm;
+
+namespace {
+
+/// Builds a synthetic interval with a prescribed CPI (via BaseCycles) and
+/// length.
+IntervalRecord makeInterval(uint64_t Instrs, double Cpi) {
+  IntervalRecord R;
+  R.NumInstrs = Instrs;
+  R.Perf.Instrs = Instrs;
+  R.Perf.BaseCycles = static_cast<uint64_t>(Cpi * static_cast<double>(Instrs));
+  return R;
+}
+
+} // namespace
+
+TEST(PhaseMetrics, PerfectPhasesGiveZeroCov) {
+  std::vector<IntervalRecord> Ivs = {
+      makeInterval(1000, 2.0), makeInterval(1000, 2.0),
+      makeInterval(1000, 5.0), makeInterval(1000, 5.0)};
+  std::vector<int32_t> Phases = {0, 0, 1, 1};
+  ClassificationSummary S =
+      summarizeClassification(Ivs, Phases, cpiMetric);
+  EXPECT_EQ(S.NumPhases, 2u);
+  EXPECT_NEAR(S.OverallCov, 0.0, 1e-9);
+}
+
+TEST(PhaseMetrics, MixedPhaseHasPositiveCov) {
+  std::vector<IntervalRecord> Ivs = {makeInterval(1000, 2.0),
+                                     makeInterval(1000, 5.0)};
+  std::vector<int32_t> Phases = {0, 0};
+  ClassificationSummary S =
+      summarizeClassification(Ivs, Phases, cpiMetric);
+  // Mean 3.5, stddev 1.5 -> CoV = 3/7.
+  EXPECT_NEAR(S.OverallCov, 1.5 / 3.5, 1e-9);
+}
+
+TEST(PhaseMetrics, IntervalWeightingMatters) {
+  // A long interval dominates the phase statistics.
+  std::vector<IntervalRecord> Ivs = {makeInterval(9000, 2.0),
+                                     makeInterval(1000, 4.0)};
+  std::vector<int32_t> Phases = {0, 0};
+  ClassificationSummary S =
+      summarizeClassification(Ivs, Phases, cpiMetric);
+  // Weighted mean 2.2; weighted stddev = sqrt(0.9*(2-2.2)^2+0.1*(4-2.2)^2)
+  double Mean = 2.2;
+  double Var = 0.9 * 0.04 + 0.1 * 3.24;
+  EXPECT_NEAR(S.OverallCov, std::sqrt(Var) / Mean, 1e-9);
+}
+
+TEST(PhaseMetrics, OverallWeightsPhasesByInstructions) {
+  // A heavy homogeneous phase pulls the overall CoV toward zero.
+  std::vector<IntervalRecord> Ivs = {
+      makeInterval(100000, 3.0), makeInterval(100000, 3.0), // Phase 0.
+      makeInterval(100, 1.0), makeInterval(100, 9.0)};      // Phase 1.
+  std::vector<int32_t> Phases = {0, 0, 1, 1};
+  ClassificationSummary S =
+      summarizeClassification(Ivs, Phases, cpiMetric);
+  EXPECT_LT(S.OverallCov, 0.01);
+}
+
+TEST(PhaseMetrics, NIntervalsNPhasesDegeneratesToZero) {
+  // The CoV pitfall the paper warns about (Sec. 3.1): one interval per
+  // phase scores a perfect zero, which is why phase counts are reported.
+  std::vector<IntervalRecord> Ivs = {makeInterval(1000, 1.0),
+                                     makeInterval(1000, 7.0),
+                                     makeInterval(1000, 3.0)};
+  std::vector<int32_t> Phases = {0, 1, 2};
+  ClassificationSummary S =
+      summarizeClassification(Ivs, Phases, cpiMetric);
+  EXPECT_EQ(S.NumPhases, 3u);
+  EXPECT_NEAR(S.OverallCov, 0.0, 1e-12);
+  EXPECT_GT(wholeProgramCov(Ivs, cpiMetric), 0.5);
+}
+
+TEST(PhaseMetrics, SummaryCountsAndLengths) {
+  std::vector<IntervalRecord> Ivs = {makeInterval(1000, 2.0),
+                                     makeInterval(3000, 2.0)};
+  std::vector<int32_t> Phases = {0, 1};
+  ClassificationSummary S =
+      summarizeClassification(Ivs, Phases, cpiMetric);
+  EXPECT_EQ(S.NumIntervals, 2u);
+  EXPECT_DOUBLE_EQ(S.AvgIntervalLen, 2000.0);
+}
+
+TEST(PhaseMetrics, PhasesFromRecordsRoundTrip) {
+  std::vector<IntervalRecord> Ivs = {makeInterval(10, 1), makeInterval(10, 1)};
+  Ivs[0].PhaseId = 3;
+  Ivs[1].PhaseId = ProloguePhase;
+  std::vector<int32_t> P = phasesFromRecords(Ivs);
+  EXPECT_EQ(P, (std::vector<int32_t>{3, ProloguePhase}));
+}
+
+TEST(PhaseMetrics, MissRateMetricReadsCacheCounters) {
+  IntervalRecord R = makeInterval(1000, 2.0);
+  R.Perf.L1Accesses = 200;
+  R.Perf.L1Misses = 50;
+  EXPECT_DOUBLE_EQ(missRateMetric(R), 0.25);
+}
+
+TEST(PhaseMetrics, EmptyInputIsSafe) {
+  std::vector<IntervalRecord> Ivs;
+  std::vector<int32_t> Phases;
+  ClassificationSummary S =
+      summarizeClassification(Ivs, Phases, cpiMetric);
+  EXPECT_EQ(S.NumIntervals, 0u);
+  EXPECT_EQ(S.NumPhases, 0u);
+  EXPECT_EQ(wholeProgramCov(Ivs, cpiMetric), 0.0);
+}

@@ -1,0 +1,175 @@
+//===- tests/sequitur_test.cpp - grammar induction invariants -------------==//
+
+#include "reuse/Sequitur.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace spm;
+
+namespace {
+
+std::vector<int64_t> seq(std::initializer_list<int64_t> L) { return L; }
+
+/// Validates the two Sequitur invariants on an extracted grammar:
+/// digram uniqueness across all rule bodies, and rule utility (every
+/// non-start rule used at least twice).
+void validateGrammar(const std::vector<SequiturRule> &G) {
+  std::map<std::pair<int64_t, int64_t>, int> DigramCount;
+  for (const SequiturRule &R : G) {
+    for (size_t I = 0; I + 1 < R.Symbols.size(); ++I) {
+      auto Key = std::make_pair(R.Symbols[I], R.Symbols[I + 1]);
+      // Overlapping identical symbols (aaa) legitimately repeat; skip
+      // same-symbol digrams in the uniqueness check.
+      if (Key.first == Key.second)
+        continue;
+      ++DigramCount[Key];
+    }
+    if (R.Id != 0) {
+      EXPECT_GE(R.Uses, 2u) << "rule utility violated for rule " << R.Id;
+    }
+  }
+  for (const auto &[K, N] : DigramCount)
+    EXPECT_LE(N, 1) << "digram (" << K.first << "," << K.second
+                    << ") appears " << N << " times";
+}
+
+std::vector<int64_t> reconstructAndValidate(const std::vector<int64_t> &In) {
+  Sequitur S;
+  for (int64_t T : In)
+    S.append(T);
+  validateGrammar(S.grammar());
+  return S.reconstruct();
+}
+
+} // namespace
+
+TEST(Sequitur, EmptyAndSingle) {
+  Sequitur S;
+  EXPECT_TRUE(S.reconstruct().empty());
+  S.append(5);
+  EXPECT_EQ(S.reconstruct(), seq({5}));
+  EXPECT_EQ(S.numRules(), 1u);
+}
+
+TEST(Sequitur, ClassicAbcdbc) {
+  // From the Sequitur paper: "abcdbc" -> S = a A d A, A = b c.
+  std::vector<int64_t> In = {0, 1, 2, 3, 1, 2};
+  Sequitur S;
+  for (int64_t T : In)
+    S.append(T);
+  EXPECT_EQ(S.reconstruct(), In);
+  EXPECT_EQ(S.numRules(), 2u);
+  auto G = S.grammar();
+  validateGrammar(G);
+  // The non-start rule expands to "bc".
+  for (const SequiturRule &R : G) {
+    if (R.Id != 0) {
+      EXPECT_EQ(R.Expansion, seq({1, 2}));
+    }
+  }
+}
+
+TEST(Sequitur, RepeatedPairFormsRule) {
+  // "abab" -> S = A A, A = a b.
+  std::vector<int64_t> In = {7, 9, 7, 9};
+  Sequitur S;
+  for (int64_t T : In)
+    S.append(T);
+  EXPECT_EQ(S.reconstruct(), In);
+  EXPECT_EQ(S.numRules(), 2u);
+}
+
+TEST(Sequitur, HierarchyFromLongRepetition) {
+  // "abab abab" builds a rule of rules.
+  std::vector<int64_t> In;
+  for (int I = 0; I < 8; ++I)
+    In.push_back(I % 2);
+  Sequitur S;
+  for (int64_t T : In)
+    S.append(T);
+  EXPECT_EQ(S.reconstruct(), In);
+  auto G = S.grammar();
+  validateGrammar(G);
+  EXPECT_GE(G.size(), 2u);
+}
+
+TEST(Sequitur, RunsOfSameSymbol) {
+  // "aaaaaaaa": overlapping digrams must not loop or miscount.
+  std::vector<int64_t> In(8, 4);
+  EXPECT_EQ(reconstructAndValidate(In), In);
+}
+
+TEST(Sequitur, RuleUtilityInlinesDeadRules) {
+  // "abcabcabc...": intermediate rules get subsumed by larger ones; the
+  // final grammar must contain no once-used rules.
+  std::vector<int64_t> In;
+  for (int I = 0; I < 30; ++I)
+    In.push_back(I % 3);
+  EXPECT_EQ(reconstructAndValidate(In), In);
+}
+
+TEST(Sequitur, PhaseLabelStreamCompressesWell) {
+  // The reuse-baseline use case: a cyclic phase-label stream. The grammar
+  // should be far smaller than the input.
+  std::vector<int64_t> In;
+  for (int I = 0; I < 200; ++I) {
+    In.push_back(0);
+    In.push_back(1);
+    In.push_back(1);
+    In.push_back(2);
+  }
+  Sequitur S;
+  for (int64_t T : In)
+    S.append(T);
+  EXPECT_EQ(S.reconstruct(), In);
+  validateGrammar(S.grammar());
+  size_t GrammarSymbols = 0;
+  for (const SequiturRule &R : S.grammar())
+    GrammarSymbols += R.Symbols.size();
+  EXPECT_LT(GrammarSymbols, In.size() / 4)
+      << "cyclic stream should compress at least 4x";
+}
+
+TEST(Sequitur, StressRandomSmallAlphabet) {
+  // Random streams over small alphabets exercise rule creation, reuse,
+  // and inlining heavily; reconstruction must always be exact.
+  for (uint64_t Seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    Rng R(Seed);
+    std::vector<int64_t> In;
+    for (int I = 0; I < 2000; ++I)
+      In.push_back(static_cast<int64_t>(R.nextBelow(3)));
+    EXPECT_EQ(reconstructAndValidate(In), In) << "seed " << Seed;
+  }
+}
+
+TEST(Sequitur, StressRandomPatterns) {
+  // Concatenations of randomly chosen motifs (the phase-stream shape).
+  for (uint64_t Seed : {11ull, 22ull, 33ull}) {
+    Rng R(Seed);
+    std::vector<std::vector<int64_t>> Motifs;
+    for (int M = 0; M < 4; ++M) {
+      std::vector<int64_t> Motif;
+      for (uint64_t I = 0, N = 2 + R.nextBelow(5); I < N; ++I)
+        Motif.push_back(static_cast<int64_t>(R.nextBelow(6)));
+      Motifs.push_back(std::move(Motif));
+    }
+    std::vector<int64_t> In;
+    for (int I = 0; I < 300; ++I) {
+      const auto &M = Motifs[R.nextBelow(Motifs.size())];
+      In.insert(In.end(), M.begin(), M.end());
+    }
+    EXPECT_EQ(reconstructAndValidate(In), In) << "seed " << Seed;
+  }
+}
+
+TEST(Sequitur, InduceGrammarHelper) {
+  auto G = induceGrammar({1, 2, 1, 2, 1, 2});
+  ASSERT_FALSE(G.empty());
+  EXPECT_EQ(G[0].Id, 0u);
+  std::vector<int64_t> Expanded = G[0].Expansion;
+  EXPECT_EQ(Expanded, seq({1, 2, 1, 2, 1, 2}));
+}

@@ -1,0 +1,250 @@
+//===- tests/support_test.cpp - support library unit tests ----------------==//
+
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace spm;
+
+//===----------------------------------------------------------------------===//
+// Random
+//===----------------------------------------------------------------------===//
+
+TEST(Random, DeterministicForSeed) {
+  Rng A(7), B(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 2);
+}
+
+TEST(Random, NextBelowInRange) {
+  Rng R(3);
+  for (uint64_t Bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound) << "bound " << Bound;
+  }
+}
+
+TEST(Random, NextInRangeInclusive) {
+  Rng R(4);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    uint64_t V = R.nextInRange(5, 8);
+    EXPECT_GE(V, 5u);
+    EXPECT_LE(V, 8u);
+    SawLo |= (V == 5);
+    SawHi |= (V == 8);
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Random, DoubleInUnitInterval) {
+  Rng R(5);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Random, BernoulliFrequency) {
+  Rng R(6);
+  int Hits = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Hits += R.nextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.3, 0.02);
+}
+
+TEST(Random, BernoulliExtremes) {
+  Rng R(6);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_FALSE(R.nextBool(0.0));
+    EXPECT_TRUE(R.nextBool(1.0));
+  }
+}
+
+TEST(Random, GaussianMoments) {
+  Rng R(8);
+  RunningStat S;
+  for (int I = 0; I < 50000; ++I)
+    S.add(R.nextGaussian());
+  EXPECT_NEAR(S.mean(), 0.0, 0.02);
+  EXPECT_NEAR(S.stddev(), 1.0, 0.02);
+}
+
+TEST(Random, ForkIndependence) {
+  Rng A(9);
+  Rng B = A.fork();
+  // The fork and the parent should not track each other.
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 2);
+}
+
+//===----------------------------------------------------------------------===//
+// RunningStat
+//===----------------------------------------------------------------------===//
+
+TEST(RunningStat, MatchesNaiveMoments) {
+  std::vector<double> Xs = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5};
+  RunningStat S;
+  for (double X : Xs)
+    S.add(X);
+  double Mean = 0;
+  for (double X : Xs)
+    Mean += X;
+  Mean /= Xs.size();
+  double Var = 0;
+  for (double X : Xs)
+    Var += (X - Mean) * (X - Mean);
+  Var /= Xs.size();
+  EXPECT_EQ(S.count(), Xs.size());
+  EXPECT_DOUBLE_EQ(S.mean(), Mean);
+  EXPECT_NEAR(S.variance(), Var, 1e-9);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.stddev(), 0.0);
+  EXPECT_EQ(S.cov(), 0.0);
+  EXPECT_EQ(S.max(), 0.0);
+}
+
+TEST(RunningStat, SingleSampleZeroVariance) {
+  RunningStat S;
+  S.add(42.0);
+  EXPECT_EQ(S.variance(), 0.0);
+  EXPECT_EQ(S.cov(), 0.0);
+}
+
+TEST(RunningStat, CovIsStddevOverMean) {
+  RunningStat S;
+  S.add(10);
+  S.add(20);
+  EXPECT_NEAR(S.cov(), 5.0 / 15.0, 1e-12);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat A, B, Whole;
+  for (int I = 0; I < 100; ++I) {
+    double X = std::sin(I) * 10 + I;
+    (I < 37 ? A : B).add(X);
+    Whole.add(X);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), Whole.count());
+  EXPECT_NEAR(A.mean(), Whole.mean(), 1e-9);
+  EXPECT_NEAR(A.variance(), Whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(A.max(), Whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat A, Empty;
+  A.add(1);
+  A.add(2);
+  RunningStat Copy = A;
+  A.merge(Empty);
+  EXPECT_EQ(A.count(), Copy.count());
+  EXPECT_DOUBLE_EQ(A.mean(), Copy.mean());
+  Empty.merge(A);
+  EXPECT_EQ(Empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(Empty.mean(), 1.5);
+}
+
+//===----------------------------------------------------------------------===//
+// WeightedStat
+//===----------------------------------------------------------------------===//
+
+TEST(WeightedStat, UnitWeightsMatchRunningStat) {
+  RunningStat R;
+  WeightedStat W;
+  for (double X : {1.0, 2.0, 3.0, 10.0}) {
+    R.add(X);
+    W.add(X, 1.0);
+  }
+  EXPECT_NEAR(R.mean(), W.mean(), 1e-12);
+  EXPECT_NEAR(R.variance(), W.variance(), 1e-9);
+}
+
+TEST(WeightedStat, WeightsActAsReplication) {
+  WeightedStat W;
+  W.add(2.0, 3.0); // Like adding 2.0 three times.
+  W.add(8.0, 1.0);
+  RunningStat R;
+  R.add(2);
+  R.add(2);
+  R.add(2);
+  R.add(8);
+  EXPECT_NEAR(W.mean(), R.mean(), 1e-12);
+  EXPECT_NEAR(W.variance(), R.variance(), 1e-9);
+}
+
+TEST(WeightedStat, ZeroWeightIgnored) {
+  WeightedStat W;
+  W.add(100.0, 0.0);
+  EXPECT_EQ(W.totalWeight(), 0.0);
+  EXPECT_EQ(W.mean(), 0.0);
+  EXPECT_EQ(W.cov(), 0.0);
+}
+
+TEST(WeightedStat, ConstantStreamZeroCov) {
+  WeightedStat W;
+  for (int I = 1; I <= 10; ++I)
+    W.add(5.0, I);
+  EXPECT_NEAR(W.cov(), 0.0, 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Table
+//===----------------------------------------------------------------------===//
+
+TEST(Table, AlignsColumns) {
+  Table T;
+  T.row().cell("name").cell("value");
+  T.row().cell("x").cell(uint64_t{12345});
+  T.row().cell("longer-name").cell(3.14159, 2);
+  std::string S = T.str();
+  EXPECT_NE(S.find("name"), std::string::npos);
+  EXPECT_NE(S.find("12345"), std::string::npos);
+  EXPECT_NE(S.find("3.14"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(S.find("----"), std::string::npos);
+}
+
+TEST(Table, PercentCell) {
+  Table T;
+  T.row().percentCell(0.1234, 1);
+  EXPECT_NE(T.str().find("12.3%"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  Table T;
+  T.row().cell("a,b").cell("plain");
+  EXPECT_EQ(T.csv(), "\"a,b\",plain\n");
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(formatDouble(1.5, 2), "1.50");
+  EXPECT_EQ(formatDouble(-0.125, 3), "-0.125");
+}

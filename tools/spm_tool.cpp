@@ -1,0 +1,259 @@
+//===- tools/spm_tool.cpp - command-line driver ---------------------------==//
+//
+// The end-user workflow as a CLI, mirroring how the paper's tooling would
+// ship: profile a program into a call-loop profile file, select markers
+// from a stored profile (re-runnable with different knobs, no re-profiling),
+// and report phase behavior of a run under a marker file.
+//
+//   spm_tool list
+//   spm_tool profile <workload> [--input train|ref] [-o <file>]
+//   spm_tool select  <profile-file> [--ilower N] [--limit N] [--procs-only]
+//                    [-o <file>]
+//   spm_tool report  <workload> <marker-file> [--input train|ref]
+//   spm_tool dot     <workload> [--input train|ref]
+//
+// Files default to stdout; pass "-" to read a file argument from stdin.
+//
+//===----------------------------------------------------------------------===//
+
+#include "callloop/Profile.h"
+#include "callloop/ProfileIO.h"
+#include "ir/Lowering.h"
+#include "markers/Pipeline.h"
+#include "markers/Selector.h"
+#include "markers/Serialize.h"
+#include "phase/Metrics.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+#include <string>
+
+using namespace spm;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  spm_tool list\n"
+      "  spm_tool profile <workload> [--input train|ref] [-o <file>]\n"
+      "  spm_tool select <profile-file> [--ilower N] [--limit N]\n"
+      "                  [--procs-only] [-o <file>]\n"
+      "  spm_tool report <workload> <marker-file> [--input train|ref]\n"
+      "  spm_tool dot <workload> [--input train|ref]\n");
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  if (Path == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Out = SS.str();
+    return true;
+  }
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+bool writeOutput(const std::string &Path, const std::string &Text) {
+  if (Path.empty() || Path == "-") {
+    std::fputs(Text.c_str(), stdout);
+    return true;
+  }
+  std::ofstream OutF(Path);
+  if (!OutF)
+    return false;
+  OutF << Text;
+  return static_cast<bool>(OutF);
+}
+
+bool knownWorkload(const std::string &Name) {
+  for (const std::string &N : WorkloadRegistry::allNames())
+    if (N == Name)
+      return true;
+  return false;
+}
+
+struct CommonArgs {
+  bool UseRef = true;
+  std::string OutPath;
+  std::vector<std::string> Positional;
+  SelectorConfig Config;
+  bool Bad = false;
+};
+
+CommonArgs parseArgs(int Argc, char **Argv, int Start) {
+  CommonArgs A;
+  A.Config.ILower = 10000;
+  for (int I = Start; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--input" && I + 1 < Argc) {
+      A.UseRef = std::strcmp(Argv[++I], "ref") == 0;
+    } else if (Arg == "-o" && I + 1 < Argc) {
+      A.OutPath = Argv[++I];
+    } else if (Arg == "--ilower" && I + 1 < Argc) {
+      A.Config.ILower = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--limit" && I + 1 < Argc) {
+      A.Config.Limit = true;
+      A.Config.MaxLimit = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--procs-only") {
+      A.Config.ProceduresOnly = true;
+    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
+      std::fprintf(stderr, "unknown option %s\n", Arg.c_str());
+      A.Bad = true;
+    } else {
+      A.Positional.push_back(Arg);
+    }
+  }
+  return A;
+}
+
+int cmdList() {
+  for (const std::string &N : WorkloadRegistry::allNames()) {
+    Workload W = WorkloadRegistry::create(N);
+    std::printf("%-12s (ref: %s)\n", N.c_str(), W.RefLabel.c_str());
+  }
+  return 0;
+}
+
+int cmdProfile(const CommonArgs &A) {
+  if (A.Positional.empty() || !knownWorkload(A.Positional[0])) {
+    std::fprintf(stderr, "profile: unknown workload\n");
+    return 1;
+  }
+  Workload W = WorkloadRegistry::create(A.Positional[0]);
+  auto Bin = lower(*W.Program, LoweringOptions::O2());
+  LoopIndex Loops = LoopIndex::build(*Bin);
+  auto G = buildCallLoopGraph(*Bin, Loops, A.UseRef ? W.Ref : W.Train);
+  if (!writeOutput(A.OutPath, serializeProfile(*G, *Bin, Loops))) {
+    std::fprintf(stderr, "profile: cannot write %s\n", A.OutPath.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmdSelect(const CommonArgs &A) {
+  if (A.Positional.empty()) {
+    std::fprintf(stderr, "select: missing profile file\n");
+    return 1;
+  }
+  std::string Text;
+  if (!readFile(A.Positional[0], Text)) {
+    std::fprintf(stderr, "select: cannot read %s\n",
+                 A.Positional[0].c_str());
+    return 1;
+  }
+  std::string Err;
+  auto Profile = parseProfile(Text, &Err);
+  if (!Profile) {
+    std::fprintf(stderr, "select: %s\n", Err.c_str());
+    return 1;
+  }
+  SelectionResult Sel = selectMarkers(*Profile->Graph, A.Config);
+  std::fprintf(stderr,
+               "selected %zu markers from %zu candidates "
+               "(avg CoV %.2f%% +/- %.2f%%)\n",
+               Sel.Markers.size(), Sel.NumCandidates,
+               Sel.AvgCandidateCov * 100.0, Sel.StddevCandidateCov * 100.0);
+  std::string Out = serializeMarkers(
+      toPortable(Sel.Markers, *Profile->Graph, Profile->FuncNames));
+  if (!writeOutput(A.OutPath, Out)) {
+    std::fprintf(stderr, "select: cannot write %s\n", A.OutPath.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmdReport(const CommonArgs &A) {
+  if (A.Positional.size() < 2 || !knownWorkload(A.Positional[0])) {
+    std::fprintf(stderr, "report: need <workload> <marker-file>\n");
+    return 1;
+  }
+  std::string Text;
+  if (!readFile(A.Positional[1], Text)) {
+    std::fprintf(stderr, "report: cannot read %s\n",
+                 A.Positional[1].c_str());
+    return 1;
+  }
+  std::string Err;
+  auto Portable = parseMarkers(Text, &Err);
+  if (!Portable) {
+    std::fprintf(stderr, "report: %s\n", Err.c_str());
+    return 1;
+  }
+
+  Workload W = WorkloadRegistry::create(A.Positional[0]);
+  auto Bin = lower(*W.Program, LoweringOptions::O2());
+  LoopIndex Loops = LoopIndex::build(*Bin);
+  auto G = std::make_unique<CallLoopGraph>(*Bin, Loops);
+  MarkerSet M = fromPortable(*Portable, *G, *Bin, Loops);
+  if (M.size() != Portable->size())
+    std::fprintf(stderr,
+                 "report: %zu of %zu markers did not anchor in this "
+                 "binary\n",
+                 Portable->size() - M.size(), Portable->size());
+
+  MarkerRun Run = runMarkerIntervals(*Bin, Loops, *G, M,
+                                     A.UseRef ? W.Ref : W.Train,
+                                     /*CollectBbv=*/false);
+  ClassificationSummary S = summarizeClassification(
+      Run.Intervals, phasesFromRecords(Run.Intervals), cpiMetric);
+  double Whole = wholeProgramCov(Run.Intervals, cpiMetric);
+
+  Table T;
+  T.row().cell("metric").cell("value");
+  T.row().cell("instructions").cell(Run.Run.TotalInstrs);
+  T.row().cell("intervals").cell(static_cast<uint64_t>(S.NumIntervals));
+  T.row().cell("phases").cell(static_cast<uint64_t>(S.NumPhases));
+  T.row().cell("avg interval").cell(S.AvgIntervalLen, 0);
+  T.row().cell("per-phase CoV CPI").percentCell(S.OverallCov);
+  T.row().cell("whole-run CoV CPI").percentCell(Whole);
+  std::printf("%s", T.str().c_str());
+  return 0;
+}
+
+int cmdDot(const CommonArgs &A) {
+  if (A.Positional.empty() || !knownWorkload(A.Positional[0])) {
+    std::fprintf(stderr, "dot: unknown workload\n");
+    return 1;
+  }
+  Workload W = WorkloadRegistry::create(A.Positional[0]);
+  auto Bin = lower(*W.Program, LoweringOptions::O2());
+  LoopIndex Loops = LoopIndex::build(*Bin);
+  auto G = buildCallLoopGraph(*Bin, Loops, A.UseRef ? W.Ref : W.Train);
+  return writeOutput(A.OutPath, printGraphDot(*G)) ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Cmd = Argv[1];
+  CommonArgs A = parseArgs(Argc, Argv, 2);
+  if (A.Bad)
+    return usage();
+  if (Cmd == "list")
+    return cmdList();
+  if (Cmd == "profile")
+    return cmdProfile(A);
+  if (Cmd == "select")
+    return cmdSelect(A);
+  if (Cmd == "report")
+    return cmdReport(A);
+  if (Cmd == "dot")
+    return cmdDot(A);
+  return usage();
+}
