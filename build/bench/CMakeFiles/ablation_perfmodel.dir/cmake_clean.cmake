@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_perfmodel.dir/ablation_perfmodel.cpp.o"
+  "CMakeFiles/ablation_perfmodel.dir/ablation_perfmodel.cpp.o.d"
+  "ablation_perfmodel"
+  "ablation_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

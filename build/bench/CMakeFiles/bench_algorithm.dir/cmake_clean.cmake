@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algorithm.dir/bench_algorithm.cpp.o"
+  "CMakeFiles/bench_algorithm.dir/bench_algorithm.cpp.o.d"
+  "bench_algorithm"
+  "bench_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

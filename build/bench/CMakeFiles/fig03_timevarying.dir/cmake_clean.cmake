@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_timevarying.dir/fig03_timevarying.cpp.o"
+  "CMakeFiles/fig03_timevarying.dir/fig03_timevarying.cpp.o.d"
+  "fig03_timevarying"
+  "fig03_timevarying.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_timevarying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

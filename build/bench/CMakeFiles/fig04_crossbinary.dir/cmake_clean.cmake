@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_crossbinary.dir/fig04_crossbinary.cpp.o"
+  "CMakeFiles/fig04_crossbinary.dir/fig04_crossbinary.cpp.o.d"
+  "fig04_crossbinary"
+  "fig04_crossbinary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_crossbinary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_06_projection.dir/fig05_06_projection.cpp.o"
+  "CMakeFiles/fig05_06_projection.dir/fig05_06_projection.cpp.o.d"
+  "fig05_06_projection"
+  "fig05_06_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_06_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

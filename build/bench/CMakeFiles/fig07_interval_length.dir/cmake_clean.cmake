@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_interval_length.dir/fig07_interval_length.cpp.o"
+  "CMakeFiles/fig07_interval_length.dir/fig07_interval_length.cpp.o.d"
+  "fig07_interval_length"
+  "fig07_interval_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_interval_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

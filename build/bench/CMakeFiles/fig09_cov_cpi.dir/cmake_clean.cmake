@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_cov_cpi.dir/fig09_cov_cpi.cpp.o"
+  "CMakeFiles/fig09_cov_cpi.dir/fig09_cov_cpi.cpp.o.d"
+  "fig09_cov_cpi"
+  "fig09_cov_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cov_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

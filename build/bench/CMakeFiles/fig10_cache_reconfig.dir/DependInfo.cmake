@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_cache_reconfig.cpp" "bench/CMakeFiles/fig10_cache_reconfig.dir/fig10_cache_reconfig.cpp.o" "gcc" "bench/CMakeFiles/fig10_cache_reconfig.dir/fig10_cache_reconfig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/spm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/reuse/CMakeFiles/spm_reuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpoint/CMakeFiles/spm_simpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/phase/CMakeFiles/spm_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/markers/CMakeFiles/spm_markers.dir/DependInfo.cmake"
+  "/root/repo/build/src/callloop/CMakeFiles/spm_callloop.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/spm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/spm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

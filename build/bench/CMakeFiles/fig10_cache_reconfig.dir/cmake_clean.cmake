@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cache_reconfig.dir/fig10_cache_reconfig.cpp.o"
+  "CMakeFiles/fig10_cache_reconfig.dir/fig10_cache_reconfig.cpp.o.d"
+  "fig10_cache_reconfig"
+  "fig10_cache_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cache_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_simtime.dir/fig11_simtime.cpp.o"
+  "CMakeFiles/fig11_simtime.dir/fig11_simtime.cpp.o.d"
+  "fig11_simtime"
+  "fig11_simtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_simtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

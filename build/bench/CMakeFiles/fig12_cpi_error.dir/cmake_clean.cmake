@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cpi_error.dir/fig12_cpi_error.cpp.o"
+  "CMakeFiles/fig12_cpi_error.dir/fig12_cpi_error.cpp.o.d"
+  "fig12_cpi_error"
+  "fig12_cpi_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cpi_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

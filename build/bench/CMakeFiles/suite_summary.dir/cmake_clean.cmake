@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_summary.dir/suite_summary.cpp.o"
+  "CMakeFiles/suite_summary.dir/suite_summary.cpp.o.d"
+  "suite_summary"
+  "suite_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

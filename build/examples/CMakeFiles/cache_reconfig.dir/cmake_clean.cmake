@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_reconfig.dir/cache_reconfig.cpp.o"
+  "CMakeFiles/cache_reconfig.dir/cache_reconfig.cpp.o.d"
+  "cache_reconfig"
+  "cache_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_binary_simpoints.dir/cross_binary_simpoints.cpp.o"
+  "CMakeFiles/cross_binary_simpoints.dir/cross_binary_simpoints.cpp.o.d"
+  "cross_binary_simpoints"
+  "cross_binary_simpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_binary_simpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

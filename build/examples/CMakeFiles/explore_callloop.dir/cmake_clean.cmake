@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_callloop.dir/explore_callloop.cpp.o"
+  "CMakeFiles/explore_callloop.dir/explore_callloop.cpp.o.d"
+  "explore_callloop"
+  "explore_callloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_callloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

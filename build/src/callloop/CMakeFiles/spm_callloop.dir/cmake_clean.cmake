@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spm_callloop.dir/Graph.cpp.o"
+  "CMakeFiles/spm_callloop.dir/Graph.cpp.o.d"
+  "CMakeFiles/spm_callloop.dir/ProfileIO.cpp.o"
+  "CMakeFiles/spm_callloop.dir/ProfileIO.cpp.o.d"
+  "CMakeFiles/spm_callloop.dir/Tracker.cpp.o"
+  "CMakeFiles/spm_callloop.dir/Tracker.cpp.o.d"
+  "libspm_callloop.a"
+  "libspm_callloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spm_callloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

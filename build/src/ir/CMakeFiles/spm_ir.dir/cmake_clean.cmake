@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spm_ir.dir/Lowering.cpp.o"
+  "CMakeFiles/spm_ir.dir/Lowering.cpp.o.d"
+  "CMakeFiles/spm_ir.dir/Printer.cpp.o"
+  "CMakeFiles/spm_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/spm_ir.dir/SourceProgram.cpp.o"
+  "CMakeFiles/spm_ir.dir/SourceProgram.cpp.o.d"
+  "CMakeFiles/spm_ir.dir/Verify.cpp.o"
+  "CMakeFiles/spm_ir.dir/Verify.cpp.o.d"
+  "libspm_ir.a"
+  "libspm_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spm_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spm_markers.dir/MarkerSet.cpp.o"
+  "CMakeFiles/spm_markers.dir/MarkerSet.cpp.o.d"
+  "CMakeFiles/spm_markers.dir/Selector.cpp.o"
+  "CMakeFiles/spm_markers.dir/Selector.cpp.o.d"
+  "CMakeFiles/spm_markers.dir/Serialize.cpp.o"
+  "CMakeFiles/spm_markers.dir/Serialize.cpp.o.d"
+  "libspm_markers.a"
+  "libspm_markers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spm_markers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

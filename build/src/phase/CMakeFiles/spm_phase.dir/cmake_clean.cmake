@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spm_phase.dir/Metrics.cpp.o"
+  "CMakeFiles/spm_phase.dir/Metrics.cpp.o.d"
+  "libspm_phase.a"
+  "libspm_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spm_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reuse/ReuseMarkers.cpp" "src/reuse/CMakeFiles/spm_reuse.dir/ReuseMarkers.cpp.o" "gcc" "src/reuse/CMakeFiles/spm_reuse.dir/ReuseMarkers.cpp.o.d"
+  "/root/repo/src/reuse/Sequitur.cpp" "src/reuse/CMakeFiles/spm_reuse.dir/Sequitur.cpp.o" "gcc" "src/reuse/CMakeFiles/spm_reuse.dir/Sequitur.cpp.o.d"
+  "/root/repo/src/reuse/Wavelet.cpp" "src/reuse/CMakeFiles/spm_reuse.dir/Wavelet.cpp.o" "gcc" "src/reuse/CMakeFiles/spm_reuse.dir/Wavelet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/spm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/spm_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spm_reuse.dir/ReuseMarkers.cpp.o"
+  "CMakeFiles/spm_reuse.dir/ReuseMarkers.cpp.o.d"
+  "CMakeFiles/spm_reuse.dir/Sequitur.cpp.o"
+  "CMakeFiles/spm_reuse.dir/Sequitur.cpp.o.d"
+  "CMakeFiles/spm_reuse.dir/Wavelet.cpp.o"
+  "CMakeFiles/spm_reuse.dir/Wavelet.cpp.o.d"
+  "libspm_reuse.a"
+  "libspm_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spm_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

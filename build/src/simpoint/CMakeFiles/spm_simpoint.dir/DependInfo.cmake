@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simpoint/KMeans.cpp" "src/simpoint/CMakeFiles/spm_simpoint.dir/KMeans.cpp.o" "gcc" "src/simpoint/CMakeFiles/spm_simpoint.dir/KMeans.cpp.o.d"
+  "/root/repo/src/simpoint/SimPoint.cpp" "src/simpoint/CMakeFiles/spm_simpoint.dir/SimPoint.cpp.o" "gcc" "src/simpoint/CMakeFiles/spm_simpoint.dir/SimPoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/spm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/spm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/spm_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

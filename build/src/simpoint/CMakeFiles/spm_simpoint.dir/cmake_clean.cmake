@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spm_simpoint.dir/KMeans.cpp.o"
+  "CMakeFiles/spm_simpoint.dir/KMeans.cpp.o.d"
+  "CMakeFiles/spm_simpoint.dir/SimPoint.cpp.o"
+  "CMakeFiles/spm_simpoint.dir/SimPoint.cpp.o.d"
+  "libspm_simpoint.a"
+  "libspm_simpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spm_simpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spm_support.dir/Random.cpp.o"
+  "CMakeFiles/spm_support.dir/Random.cpp.o.d"
+  "CMakeFiles/spm_support.dir/Table.cpp.o"
+  "CMakeFiles/spm_support.dir/Table.cpp.o.d"
+  "libspm_support.a"
+  "libspm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

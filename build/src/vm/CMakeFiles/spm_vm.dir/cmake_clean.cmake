@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spm_vm.dir/Interpreter.cpp.o"
+  "CMakeFiles/spm_vm.dir/Interpreter.cpp.o.d"
+  "libspm_vm.a"
+  "libspm_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spm_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

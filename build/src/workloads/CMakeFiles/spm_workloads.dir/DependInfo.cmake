@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Applu.cpp" "src/workloads/CMakeFiles/spm_workloads.dir/Applu.cpp.o" "gcc" "src/workloads/CMakeFiles/spm_workloads.dir/Applu.cpp.o.d"
+  "/root/repo/src/workloads/Art.cpp" "src/workloads/CMakeFiles/spm_workloads.dir/Art.cpp.o" "gcc" "src/workloads/CMakeFiles/spm_workloads.dir/Art.cpp.o.d"
+  "/root/repo/src/workloads/Bzip2.cpp" "src/workloads/CMakeFiles/spm_workloads.dir/Bzip2.cpp.o" "gcc" "src/workloads/CMakeFiles/spm_workloads.dir/Bzip2.cpp.o.d"
+  "/root/repo/src/workloads/Compress95.cpp" "src/workloads/CMakeFiles/spm_workloads.dir/Compress95.cpp.o" "gcc" "src/workloads/CMakeFiles/spm_workloads.dir/Compress95.cpp.o.d"
+  "/root/repo/src/workloads/Galgel.cpp" "src/workloads/CMakeFiles/spm_workloads.dir/Galgel.cpp.o" "gcc" "src/workloads/CMakeFiles/spm_workloads.dir/Galgel.cpp.o.d"
+  "/root/repo/src/workloads/Gcc.cpp" "src/workloads/CMakeFiles/spm_workloads.dir/Gcc.cpp.o" "gcc" "src/workloads/CMakeFiles/spm_workloads.dir/Gcc.cpp.o.d"
+  "/root/repo/src/workloads/Gzip.cpp" "src/workloads/CMakeFiles/spm_workloads.dir/Gzip.cpp.o" "gcc" "src/workloads/CMakeFiles/spm_workloads.dir/Gzip.cpp.o.d"
+  "/root/repo/src/workloads/Lucas.cpp" "src/workloads/CMakeFiles/spm_workloads.dir/Lucas.cpp.o" "gcc" "src/workloads/CMakeFiles/spm_workloads.dir/Lucas.cpp.o.d"
+  "/root/repo/src/workloads/Mcf.cpp" "src/workloads/CMakeFiles/spm_workloads.dir/Mcf.cpp.o" "gcc" "src/workloads/CMakeFiles/spm_workloads.dir/Mcf.cpp.o.d"
+  "/root/repo/src/workloads/Mesh.cpp" "src/workloads/CMakeFiles/spm_workloads.dir/Mesh.cpp.o" "gcc" "src/workloads/CMakeFiles/spm_workloads.dir/Mesh.cpp.o.d"
+  "/root/repo/src/workloads/Mgrid.cpp" "src/workloads/CMakeFiles/spm_workloads.dir/Mgrid.cpp.o" "gcc" "src/workloads/CMakeFiles/spm_workloads.dir/Mgrid.cpp.o.d"
+  "/root/repo/src/workloads/Perlbmk.cpp" "src/workloads/CMakeFiles/spm_workloads.dir/Perlbmk.cpp.o" "gcc" "src/workloads/CMakeFiles/spm_workloads.dir/Perlbmk.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/workloads/CMakeFiles/spm_workloads.dir/Registry.cpp.o" "gcc" "src/workloads/CMakeFiles/spm_workloads.dir/Registry.cpp.o.d"
+  "/root/repo/src/workloads/Swim.cpp" "src/workloads/CMakeFiles/spm_workloads.dir/Swim.cpp.o" "gcc" "src/workloads/CMakeFiles/spm_workloads.dir/Swim.cpp.o.d"
+  "/root/repo/src/workloads/Tomcatv.cpp" "src/workloads/CMakeFiles/spm_workloads.dir/Tomcatv.cpp.o" "gcc" "src/workloads/CMakeFiles/spm_workloads.dir/Tomcatv.cpp.o.d"
+  "/root/repo/src/workloads/Vortex.cpp" "src/workloads/CMakeFiles/spm_workloads.dir/Vortex.cpp.o" "gcc" "src/workloads/CMakeFiles/spm_workloads.dir/Vortex.cpp.o.d"
+  "/root/repo/src/workloads/Vpr.cpp" "src/workloads/CMakeFiles/spm_workloads.dir/Vpr.cpp.o" "gcc" "src/workloads/CMakeFiles/spm_workloads.dir/Vpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/spm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

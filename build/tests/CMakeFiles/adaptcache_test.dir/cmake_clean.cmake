@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptcache_test.dir/adaptcache_test.cpp.o"
+  "CMakeFiles/adaptcache_test.dir/adaptcache_test.cpp.o.d"
+  "adaptcache_test"
+  "adaptcache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

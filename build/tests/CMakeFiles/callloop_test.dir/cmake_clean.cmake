@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callloop_test.dir/callloop_test.cpp.o"
+  "CMakeFiles/callloop_test.dir/callloop_test.cpp.o.d"
+  "callloop_test"
+  "callloop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callloop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markers_test.dir/markers_test.cpp.o"
+  "CMakeFiles/markers_test.dir/markers_test.cpp.o.d"
+  "markers_test"
+  "markers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mempattern_test.dir/mempattern_test.cpp.o"
+  "CMakeFiles/mempattern_test.dir/mempattern_test.cpp.o.d"
+  "mempattern_test"
+  "mempattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mempattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

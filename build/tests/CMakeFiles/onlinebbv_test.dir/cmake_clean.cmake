@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onlinebbv_test.dir/onlinebbv_test.cpp.o"
+  "CMakeFiles/onlinebbv_test.dir/onlinebbv_test.cpp.o.d"
+  "onlinebbv_test"
+  "onlinebbv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onlinebbv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simpoint_test.dir/simpoint_test.cpp.o"
+  "CMakeFiles/simpoint_test.dir/simpoint_test.cpp.o.d"
+  "simpoint_test"
+  "simpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

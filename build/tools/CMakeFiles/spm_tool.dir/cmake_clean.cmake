@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spm_tool.dir/spm_tool.cpp.o"
+  "CMakeFiles/spm_tool.dir/spm_tool.cpp.o.d"
+  "spm_tool"
+  "spm_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

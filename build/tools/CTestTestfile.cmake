@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(spm_tool_pipeline "sh" "-c" "    /root/repo/build/tools/spm_tool list >/dev/null &&     /root/repo/build/tools/spm_tool profile gzip --input train -o spm_tool_p.txt &&     /root/repo/build/tools/spm_tool select spm_tool_p.txt -o spm_tool_m.txt &&     /root/repo/build/tools/spm_tool report gzip spm_tool_m.txt &&     /root/repo/build/tools/spm_tool dot gzip >/dev/null")
+set_tests_properties(spm_tool_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
