@@ -30,9 +30,12 @@
 #include "markers/Selector.h"
 #include "phase/Metrics.h"
 #include "simpoint/SimPoint.h"
+#include "support/Parallel.h"
 #include "support/Table.h"
 #include "workloads/Workloads.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <set>
 #include <string>
@@ -61,9 +64,21 @@ inline Prepared prepare(const std::string &Name) {
   P.W = WorkloadRegistry::create(Name);
   P.Bin = lower(*P.W.Program, LoweringOptions::O2());
   P.Loops = LoopIndex::build(*P.Bin);
-  P.GTrain = buildCallLoopGraph(*P.Bin, P.Loops, P.W.Train);
-  P.GRef = buildCallLoopGraph(*P.Bin, P.Loops, P.W.Ref);
+  // The two profiling runs are independent; at --jobs > 1 they overlap.
+  auto Graphs =
+      buildCallLoopGraphs(*P.Bin, P.Loops, {&P.W.Train, &P.W.Ref});
+  P.GTrain = std::move(Graphs[0]);
+  P.GRef = std::move(Graphs[1]);
   return P;
+}
+
+/// Shared argument parsing for the figure harnesses: "--jobs N" (0 = one
+/// worker per hardware thread) sets the ambient parallel job count;
+/// SPM_JOBS is the environment fallback.
+inline void parseBenchArgs(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
+      setParallelJobs(std::atoi(Argv[I + 1]));
 }
 
 /// The marker-selection configurations of Figs. 7-9's bar groups.
@@ -165,6 +180,45 @@ inline BehaviorRow computeBehaviorRow(const std::string &Name) {
   Row.Whole100 = wholeProgramCov(
       runFixedIntervals(*P.Bin, P.W.Ref, WholeProgramFine, false), cpiMetric);
   Row.Whole10K = wholeProgramCov(Fixed, cpiMetric);
+  return Row;
+}
+
+/// One workload's line in the suite-overview table (bench/suite_summary).
+/// Factored out of the harness so the serial-equivalence tests can compare
+/// jobs=1 and jobs=N rows field by field.
+struct SuiteRow {
+  std::string Name;
+  uint64_t Funcs = 0, Blocks = 0, Loops = 0;
+  double TrainMInstr = 0.0, RefMInstr = 0.0;
+  uint64_t Markers = 0, Phases = 0;
+  double AvgIv = 0.0, CovCpi = 0.0, Whole10K = 0.0;
+};
+
+inline SuiteRow computeSuiteRow(const std::string &Name) {
+  SuiteRow Row;
+  Prepared P = prepare(Name);
+  ExecutionObserver Nop1, Nop2;
+  RunResult Train = Interpreter(*P.Bin, P.W.Train).run(Nop1);
+  RunResult Ref = Interpreter(*P.Bin, P.W.Ref).run(Nop2);
+
+  SelectionResult Sel = selectMarkers(*P.GTrain, noLimitConfig());
+  MarkerRun R = runMarkerIntervals(*P.Bin, P.Loops, *P.GTrain, Sel.Markers,
+                                   P.W.Ref, false);
+  ClassificationSummary S = summarizeClassification(
+      R.Intervals, phasesFromRecords(R.Intervals), cpiMetric);
+
+  Row.Name = P.W.displayName();
+  Row.Funcs = P.Bin->Funcs.size();
+  Row.Blocks = P.Bin->Blocks.size();
+  Row.Loops = P.Loops.size();
+  Row.TrainMInstr = static_cast<double>(Train.TotalInstrs) / 1e6;
+  Row.RefMInstr = static_cast<double>(Ref.TotalInstrs) / 1e6;
+  Row.Markers = Sel.Markers.size();
+  Row.Phases = S.NumPhases;
+  Row.AvgIv = S.AvgIntervalLen;
+  Row.CovCpi = S.OverallCov;
+  Row.Whole10K = wholeProgramCov(
+      runFixedIntervals(*P.Bin, P.W.Ref, FixedBbvInterval, false), cpiMetric);
   return Row;
 }
 

@@ -37,20 +37,23 @@ inline SimPointRow computeSimPointRow(const std::string &Name) {
   // Fixed-length SimPoint at 1K/10K/100K (paper: 1M/10M/100M) with the
   // scaled kmax of 30/30/10 (paper: 300/30/10; 300 clusters over a few
   // thousand points degenerates at our scale, so the finest level reuses
-  // 30).
+  // 30). The three configurations are independent runs over the same
+  // prepared binary, so they fan out over the ambient job count.
   struct {
     uint64_t Len;
     uint32_t KMax;
   } FixedCfg[3] = {{1000, 30}, {10000, 30}, {100000, 10}};
-  for (int I = 0; I < 3; ++I) {
+  std::vector<CpiEstimate> Fixed = parallelMap(3, [&](size_t I) {
     std::vector<IntervalRecord> Ivs =
         runFixedIntervals(*P.Bin, P.W.Ref, FixedCfg[I].Len, true);
     SimPointConfig SPC;
     SPC.KMax = FixedCfg[I].KMax;
     SPC.Restarts = 3;
     SimPointResult SP = runSimPoint(Ivs, SPC);
-    Row.Est[I] = estimateCpi(Ivs, SP, 1.0);
-  }
+    return estimateCpi(Ivs, SP, 1.0);
+  });
+  for (int I = 0; I < 3; ++I)
+    Row.Est[I] = Fixed[I];
 
   // Marker VLIs with the Sec. 5.2 limit heuristics, SimPoint 3.0 weighted
   // clustering, coverage 95/99/100%.

@@ -17,7 +17,8 @@
 using namespace spm;
 using namespace spm::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  parseBenchArgs(Argc, Argv);
   std::printf("=== Figure 11: simulated instructions per configuration "
               "===\n\n");
   Table T;
@@ -27,8 +28,10 @@ int main() {
 
   double Sum[6] = {0, 0, 0, 0, 0, 0};
   size_t N = 0;
-  for (const std::string &Name : WorkloadRegistry::behaviorSuite()) {
-    SimPointRow R = computeSimPointRow(Name);
+  std::vector<std::string> Names = WorkloadRegistry::behaviorSuite();
+  std::vector<SimPointRow> Rows = parallelMap(
+      Names.size(), [&](size_t I) { return computeSimPointRow(Names[I]); });
+  for (const SimPointRow &R : Rows) {
     T.row().cell(R.Name);
     for (int I = 0; I < 6; ++I) {
       T.cell(R.Est[I].SimulatedInstrs);

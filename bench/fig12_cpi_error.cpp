@@ -15,7 +15,8 @@
 using namespace spm;
 using namespace spm::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  parseBenchArgs(Argc, Argv);
   std::printf("=== Figure 12: SimPoint CPI relative error ===\n\n");
   Table T;
   T.row().cell("benchmark");
@@ -24,8 +25,10 @@ int main() {
 
   double Sum[6] = {0, 0, 0, 0, 0, 0};
   size_t N = 0;
-  for (const std::string &Name : WorkloadRegistry::behaviorSuite()) {
-    SimPointRow R = computeSimPointRow(Name);
+  std::vector<std::string> Names = WorkloadRegistry::behaviorSuite();
+  std::vector<SimPointRow> Rows = parallelMap(
+      Names.size(), [&](size_t I) { return computeSimPointRow(Names[I]); });
+  for (const SimPointRow &R : Rows) {
     T.row().cell(R.Name);
     for (int I = 0; I < 6; ++I) {
       T.percentCell(R.Est[I].RelError);

@@ -5,6 +5,10 @@
 // check the suite at a glance — run sizes, static shape, marker yield, and
 // phase quality on the ref input.
 //
+// Workloads are independent, so the rows are computed on the parallel
+// worker pool (--jobs N / SPM_JOBS) and printed in registry order; output
+// is byte-identical at every job count.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
@@ -14,7 +18,8 @@
 using namespace spm;
 using namespace spm::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  parseBenchArgs(Argc, Argv);
   std::printf("=== Workload suite overview ===\n\n");
   Table T;
   T.row()
@@ -30,33 +35,22 @@ int main() {
       .cell("CoV CPI")
       .cell("whole@10k");
 
-  for (const std::string &Name : WorkloadRegistry::allNames()) {
-    Prepared P = prepare(Name);
-    ExecutionObserver Nop1, Nop2;
-    RunResult Train = Interpreter(*P.Bin, P.W.Train).run(Nop1);
-    RunResult Ref = Interpreter(*P.Bin, P.W.Ref).run(Nop2);
-
-    SelectionResult Sel = selectMarkers(*P.GTrain, noLimitConfig());
-    MarkerRun R = runMarkerIntervals(*P.Bin, P.Loops, *P.GTrain,
-                                     Sel.Markers, P.W.Ref, false);
-    ClassificationSummary S = summarizeClassification(
-        R.Intervals, phasesFromRecords(R.Intervals), cpiMetric);
-    double Whole = wholeProgramCov(
-        runFixedIntervals(*P.Bin, P.W.Ref, FixedBbvInterval, false),
-        cpiMetric);
-
+  std::vector<std::string> Names = WorkloadRegistry::allNames();
+  std::vector<SuiteRow> Rows = parallelMap(
+      Names.size(), [&](size_t I) { return computeSuiteRow(Names[I]); });
+  for (const SuiteRow &Row : Rows) {
     T.row()
-        .cell(P.W.displayName())
-        .cell(static_cast<uint64_t>(P.Bin->Funcs.size()))
-        .cell(static_cast<uint64_t>(P.Bin->Blocks.size()))
-        .cell(static_cast<uint64_t>(P.Loops.size()))
-        .cell(static_cast<double>(Train.TotalInstrs) / 1e6, 2)
-        .cell(static_cast<double>(Ref.TotalInstrs) / 1e6, 2)
-        .cell(static_cast<uint64_t>(Sel.Markers.size()))
-        .cell(static_cast<uint64_t>(S.NumPhases))
-        .cell(S.AvgIntervalLen, 0)
-        .percentCell(S.OverallCov)
-        .percentCell(Whole);
+        .cell(Row.Name)
+        .cell(Row.Funcs)
+        .cell(Row.Blocks)
+        .cell(Row.Loops)
+        .cell(Row.TrainMInstr, 2)
+        .cell(Row.RefMInstr, 2)
+        .cell(Row.Markers)
+        .cell(Row.Phases)
+        .cell(Row.AvgIv, 0)
+        .percentCell(Row.CovCpi)
+        .percentCell(Row.Whole10K);
   }
   std::printf("%s", T.str().c_str());
   return 0;

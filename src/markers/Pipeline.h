@@ -19,10 +19,12 @@
 #include "callloop/Profile.h"
 #include "markers/MarkerSet.h"
 #include "markers/Runtime.h"
+#include "support/Parallel.h"
 #include "trace/Interval.h"
 #include "vm/Interpreter.h"
 
 #include <limits>
+#include <memory>
 #include <vector>
 
 namespace spm {
@@ -81,6 +83,19 @@ runMarkerIntervals(const Binary &B, const LoopIndex &Loops,
   Out.Run = Interp.run(Mux, MaxInstrs);
   Out.Intervals = Ivb.takeIntervals();
   return Out;
+}
+
+/// Profiles one binary on several inputs, one annotated call-loop graph
+/// per input, fanning the runs out over the ambient parallelJobs() (each
+/// interpreter run owns all of its observer state, so runs are
+/// independent). Results are ordered like \p Inputs regardless of job
+/// count — slot I is always input I's graph.
+inline std::vector<std::unique_ptr<CallLoopGraph>>
+buildCallLoopGraphs(const Binary &B, const LoopIndex &Loops,
+                    const std::vector<const WorkloadInput *> &Inputs) {
+  return parallelMap(Inputs.size(), [&](size_t I) {
+    return buildCallLoopGraph(B, Loops, *Inputs[I]);
+  });
 }
 
 } // namespace spm

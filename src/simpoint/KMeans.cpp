@@ -2,6 +2,8 @@
 
 #include "simpoint/KMeans.h"
 
+#include "support/Parallel.h"
+
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -127,6 +129,27 @@ KMeansResult lloydOnce(const std::vector<std::vector<double>> &Pts,
 
 } // namespace
 
+uint64_t spm::kmeansRestartSeed(uint64_t Seed, int Restart) {
+  SplitMix64 SM(Seed);
+  uint64_t S = SM.next();
+  for (int I = 0; I < Restart; ++I)
+    S = SM.next();
+  return S;
+}
+
+KMeansResult
+spm::kmeansSingleRun(const std::vector<std::vector<double>> &Pts,
+                     const std::vector<double> &W, uint32_t K,
+                     uint64_t RawSeed, int MaxIters) {
+  assert(!Pts.empty() && "clustering requires points");
+  assert(Pts.size() == W.size() && "one weight per point");
+  assert(K >= 1 && "k must be positive");
+  if (K > Pts.size())
+    K = static_cast<uint32_t>(Pts.size());
+  Rng Rand(RawSeed);
+  return lloydOnce(Pts, W, K, Rand, MaxIters);
+}
+
 KMeansResult spm::kmeansCluster(const std::vector<std::vector<double>> &Pts,
                                 const std::vector<double> &W, uint32_t K,
                                 uint64_t Seed, int Restarts, int MaxIters) {
@@ -136,14 +159,27 @@ KMeansResult spm::kmeansCluster(const std::vector<std::vector<double>> &Pts,
   if (K > Pts.size())
     K = static_cast<uint32_t>(Pts.size());
 
-  Rng Rand(Seed);
+  // Every restart's seed is derived by index before any work starts; no
+  // restart ever touches a generator another restart reads. This is what
+  // makes the parallel fan-out bit-identical to the serial loop.
+  SplitMix64 SeedSeq(Seed);
+  std::vector<uint64_t> Seeds(static_cast<size_t>(Restarts));
+  for (uint64_t &S : Seeds)
+    S = SeedSeq.next();
+
+  std::vector<KMeansResult> Runs =
+      parallelMap(Seeds.size(), [&](size_t T) {
+        Rng Rand(Seeds[T]);
+        return lloydOnce(Pts, W, K, Rand, MaxIters);
+      });
+
+  // Lowest distortion wins; strict < keeps the earliest restart on ties,
+  // matching what the serial loop always did.
   KMeansResult Best;
   Best.Distortion = std::numeric_limits<double>::infinity();
-  for (int T = 0; T < Restarts; ++T) {
-    KMeansResult R = lloydOnce(Pts, W, K, Rand, MaxIters);
+  for (KMeansResult &R : Runs)
     if (R.Distortion < Best.Distortion)
       Best = std::move(R);
-  }
   return Best;
 }
 
@@ -182,15 +218,19 @@ spm::pickClustering(const std::vector<std::vector<double>> &Pts,
                     const std::vector<uint32_t> &Ks, uint64_t Seed,
                     double BicThreshold, int Restarts) {
   assert(!Ks.empty() && "no candidate cluster counts");
-  std::vector<KMeansResult> Runs;
-  std::vector<double> Bics;
+  // Each candidate k is an independent clustering with its own seed; fan
+  // them out. Restarts nested inside each kmeansCluster call then run
+  // inline on their worker (Parallel.h's nesting rule).
+  std::vector<KMeansResult> Runs = parallelMap(Ks.size(), [&](size_t I) {
+    return kmeansCluster(Pts, W, Ks[I], Seed + Ks[I], Restarts);
+  });
+  std::vector<double> Bics(Runs.size());
   double MinBic = std::numeric_limits<double>::infinity();
   double MaxBic = -std::numeric_limits<double>::infinity();
-  for (uint32_t K : Ks) {
-    Runs.push_back(kmeansCluster(Pts, W, K, Seed + K, Restarts));
-    Bics.push_back(bicScore(Pts, W, Runs.back()));
-    MinBic = std::min(MinBic, Bics.back());
-    MaxBic = std::max(MaxBic, Bics.back());
+  for (size_t I = 0; I < Runs.size(); ++I) {
+    Bics[I] = bicScore(Pts, W, Runs[I]);
+    MinBic = std::min(MinBic, Bics[I]);
+    MaxBic = std::max(MaxBic, Bics[I]);
   }
   double Cut = MinBic + BicThreshold * (MaxBic - MinBic);
   for (size_t I = 0; I < Runs.size(); ++I)

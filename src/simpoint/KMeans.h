@@ -37,12 +37,29 @@ struct KMeansResult {
 
 /// Runs weighted k-means on \p Points. \p Weights must be the same length
 /// (use all-ones for unweighted). \p Restarts independent k-means++
-/// seedings are tried; the lowest-distortion run wins. Deterministic for a
-/// fixed \p Seed.
+/// seedings are tried; the lowest-distortion run wins (earliest restart on
+/// ties). Deterministic for a fixed \p Seed: each restart draws from its
+/// own RNG stream seeded by kmeansRestartSeed(Seed, restart) up front, so
+/// the result is bit-identical whether the restarts run serially or on the
+/// parallelJobs() worker pool.
 KMeansResult kmeansCluster(const std::vector<std::vector<double>> &Points,
                            const std::vector<double> &Weights, uint32_t K,
                            uint64_t Seed, int Restarts = 5,
                            int MaxIters = 100);
+
+/// The seed-derivation scheme for k-means restarts, exposed so tests can
+/// pin it: restart \p Restart of a run with master seed \p Seed uses the
+/// (Restart+1)-th output of SplitMix64(Seed). Changing this silently
+/// changes every clustering; treat it as a stable contract.
+uint64_t kmeansRestartSeed(uint64_t Seed, int Restart);
+
+/// One k-means++ seeding + Lloyd run with an RNG seeded directly from
+/// \p RawSeed (no restart derivation). kmeansCluster(.., Seed, R) is
+/// exactly the lowest-distortion result of kmeansSingleRun over
+/// kmeansRestartSeed(Seed, 0..R-1), earliest restart winning ties.
+KMeansResult kmeansSingleRun(const std::vector<std::vector<double>> &Points,
+                             const std::vector<double> &Weights, uint32_t K,
+                             uint64_t RawSeed, int MaxIters = 100);
 
 /// BIC score of a clustering (higher is better): the X-means spherical
 /// Gaussian likelihood minus the (d+1)k/2 * log(R) complexity penalty.

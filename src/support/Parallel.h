@@ -1,0 +1,81 @@
+//===- support/Parallel.h - Deterministic parallel loops --------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// parallelFor / parallelMap: the only way pipeline code fans work out over
+/// threads. The determinism contract (docs/parallelism.md) is enforced
+/// structurally:
+///
+///   - The body receives a task index and owns slot `I` of a pre-sized
+///     result vector. Nothing is ever appended in completion order.
+///   - Any randomness a task needs must be derived from the task index (or
+///     a per-task seed computed up front), never drawn from a generator
+///     shared across tasks.
+///   - At Jobs == 1 — the default unless SPM_JOBS/--jobs raises it — the
+///     loop runs inline with no pool, so serial golden values are exactly
+///     reproduced; at Jobs > 1 the outputs are bit-identical because every
+///     slot's computation is independent of scheduling.
+///
+/// Nested calls (a parallelFor inside a task of another parallelFor) run
+/// inline on the calling worker: a fixed-size pool waiting on its own
+/// queue deadlocks, and the outer loop has already claimed the hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_SUPPORT_PARALLEL_H
+#define SPM_SUPPORT_PARALLEL_H
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace spm {
+
+/// Calls `Body(I)` for every I in [0, N), spread over \p Jobs workers
+/// (-1 = the ambient parallelJobs(), 0 = hardware_concurrency, >= 1
+/// literal). Blocks until all iterations finish; the first exception a
+/// body throws is rethrown here. Iterations are claimed dynamically, so
+/// bodies must not depend on execution order — write to per-index state.
+template <typename BodyFn>
+void parallelFor(size_t N, BodyFn &&Body, int Jobs = -1) {
+  unsigned J = Jobs < 0 ? parallelJobs() : resolveJobs(Jobs);
+  if (J > N)
+    J = static_cast<unsigned>(N);
+  if (J <= 1 || ThreadPool::insideWorker()) {
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+
+  ThreadPool Pool(J);
+  std::atomic<size_t> Next{0};
+  for (unsigned W = 0; W < J; ++W)
+    Pool.submit([&] {
+      for (size_t I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
+           I = Next.fetch_add(1, std::memory_order_relaxed))
+        Body(I);
+    });
+  Pool.wait();
+}
+
+/// Maps [0, N) through \p Fn into a vector ordered by index — slot I holds
+/// `Fn(I)` no matter which worker computed it or when. \p Fn must return a
+/// default-constructible, movable T.
+template <typename Fn>
+auto parallelMap(size_t N, Fn &&Fn_, int Jobs = -1)
+    -> std::vector<decltype(Fn_(size_t{0}))> {
+  std::vector<decltype(Fn_(size_t{0}))> Out(N);
+  parallelFor(
+      N, [&](size_t I) { Out[I] = Fn_(I); }, Jobs);
+  return Out;
+}
+
+} // namespace spm
+
+#endif // SPM_SUPPORT_PARALLEL_H

@@ -1,0 +1,112 @@
+//===- support/ThreadPool.cpp ---------------------------------------------==//
+
+#include "support/ThreadPool.h"
+
+#include <cstdlib>
+
+using namespace spm;
+
+namespace {
+
+/// Set for the lifetime of every pool worker thread; queried by
+/// ThreadPool::insideWorker() so nested parallel loops degrade to inline
+/// execution instead of deadlocking.
+thread_local bool IsPoolWorker = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads < 1)
+    NumThreads = 1;
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    // Let queued work drain so submitted tasks are never silently dropped;
+    // wait() has already rethrown any error the owner cares about.
+    AllDone.wait(Lock, [this] { return InFlight == 0; });
+    Stopping = true;
+  }
+  TaskReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Task));
+    ++InFlight;
+  }
+  TaskReady.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  AllDone.wait(Lock, [this] { return InFlight == 0; });
+  if (FirstError) {
+    std::exception_ptr E = FirstError;
+    FirstError = nullptr;
+    std::rethrow_exception(E);
+  }
+}
+
+bool ThreadPool::insideWorker() { return IsPoolWorker; }
+
+void ThreadPool::workerLoop() {
+  IsPoolWorker = true;
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      TaskReady.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    try {
+      Task();
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (--InFlight == 0)
+        AllDone.notify_all();
+    }
+  }
+}
+
+unsigned spm::resolveJobs(int Jobs) {
+  if (Jobs >= 1)
+    return static_cast<unsigned>(Jobs);
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW >= 1 ? HW : 1;
+}
+
+namespace {
+
+unsigned ambientJobsFromEnv() {
+  const char *Env = std::getenv("SPM_JOBS");
+  if (!Env || !*Env)
+    return 1;
+  return resolveJobs(std::atoi(Env));
+}
+
+unsigned &ambientJobs() {
+  static unsigned Jobs = ambientJobsFromEnv();
+  return Jobs;
+}
+
+} // namespace
+
+unsigned spm::parallelJobs() { return ambientJobs(); }
+
+void spm::setParallelJobs(int Jobs) { ambientJobs() = resolveJobs(Jobs); }

@@ -1,0 +1,109 @@
+//===- support/ThreadPool.h - Deterministic worker pool ---------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool for the embarrassingly parallel fan-outs
+/// of the pipeline (k-means restarts, per-workload experiment loops,
+/// multi-input profiling). Design constraints, in order:
+///
+///   1. Determinism. The pool never decides *what* is computed, only *when*.
+///      Callers (see Parallel.h) write results into pre-sized slots indexed
+///      by task id, so completion order is invisible.
+///   2. Serial fallback. A pool is only spun up for jobs > 1; every
+///      parallelized site behaves bit-identically at jobs = 1 with zero
+///      threading machinery involved.
+///   3. No work stealing, no priorities, no nested pools. Workers pull
+///      tasks off one FIFO queue under a mutex; contention is irrelevant
+///      at our task granularities (milliseconds to seconds each).
+///
+/// Job-count policy (shared by every consumer via Parallel.h):
+///   jobs >= 1  use exactly that many workers;
+///   jobs == 0  use std::thread::hardware_concurrency() (clamped >= 1).
+/// The ambient default is 1 (fully serial) unless the SPM_JOBS environment
+/// variable or a --jobs flag raised it — reproduction runs stay serial
+/// unless explicitly asked otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_SUPPORT_THREADPOOL_H
+#define SPM_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spm {
+
+/// Fixed-size FIFO thread pool. Tasks are submitted with submit() and the
+/// owner blocks on wait() for quiescence. The first exception thrown by a
+/// task is captured and rethrown from wait() (subsequent ones are dropped;
+/// the pool keeps draining so destruction is always safe).
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers. \p NumThreads must be >= 1 — resolve
+  /// user-facing job counts through resolveJobs() first.
+  explicit ThreadPool(unsigned NumThreads);
+
+  /// Drains outstanding tasks, then joins all workers. Destroying an idle
+  /// pool is always valid and fast.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task. May be called only from outside the pool's own
+  /// workers (nested submission deadlocks a fixed-size pool; Parallel.h
+  /// runs nested loops inline instead — see insideWorker()).
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first task exception, if any. The pool is reusable afterwards.
+  void wait();
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Used by
+  /// Parallel.h to run nested parallel loops inline on the calling worker
+  /// rather than deadlocking on a second pool's queue.
+  static bool insideWorker();
+
+private:
+  void workerLoop();
+
+  std::mutex Mu;
+  std::condition_variable TaskReady; ///< Signals workers: queue non-empty/stop.
+  std::condition_variable AllDone;   ///< Signals wait(): quiescent.
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Workers;
+  std::exception_ptr FirstError;
+  size_t InFlight = 0; ///< Queued + currently executing tasks.
+  bool Stopping = false;
+};
+
+/// Resolves a user-facing job count: values >= 1 are taken literally, 0
+/// means "one worker per hardware thread" (hardware_concurrency, clamped
+/// to >= 1 for platforms that report 0).
+unsigned resolveJobs(int Jobs);
+
+/// The ambient job count used by parallelFor/parallelMap when the caller
+/// does not pass one: the last setParallelJobs() value, else the SPM_JOBS
+/// environment variable, else 1 (serial).
+unsigned parallelJobs();
+
+/// Sets the ambient job count (0 resolves to hardware_concurrency). This
+/// is what --jobs flags call; it is process-global and not itself
+/// thread-safe — set it once during startup/argument parsing.
+void setParallelJobs(int Jobs);
+
+} // namespace spm
+
+#endif // SPM_SUPPORT_THREADPOOL_H

@@ -1,0 +1,179 @@
+//===- tests/threadpool_test.cpp - pool and parallel-loop unit tests ------==//
+//
+// The ThreadPool/parallelFor contract (docs/parallelism.md): deterministic
+// index-addressed results, serial fallback at jobs=1, inline execution of
+// nested loops, exception propagation, and jobs=0 meaning "all hardware
+// threads". Run this suite under SPM_SANITIZE=thread in CI.
+//
+//===----------------------------------------------------------------------==//
+
+#include "support/Parallel.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+using namespace spm;
+
+TEST(ThreadPool, TenThousandTasksAllRun) {
+  ThreadPool Pool(4);
+  std::atomic<uint64_t> Count{0};
+  for (int I = 0; I < 10000; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1, std::memory_order_relaxed); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 10000u);
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  for (int Round = 0; Round < 3; ++Round) {
+    for (int I = 0; I < 100; ++I)
+      Pool.submit([&Count] { ++Count; });
+    Pool.wait();
+    EXPECT_EQ(Count.load(), (Round + 1) * 100);
+  }
+}
+
+TEST(ThreadPool, DestructionWhileIdle) {
+  // A pool that never received work (or finished all of it) must tear
+  // down promptly without deadlock.
+  { ThreadPool Idle(8); }
+  {
+    ThreadPool Pool(3);
+    Pool.submit([] {});
+    Pool.wait();
+  } // Destroyed idle after draining.
+  SUCCEED();
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskException) {
+  ThreadPool Pool(2);
+  Pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  // The error is consumed; the pool remains usable.
+  std::atomic<int> Ran{0};
+  Pool.submit([&Ran] { ++Ran; });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 1);
+}
+
+TEST(ThreadPool, FailingTaskDoesNotStopOthers) {
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 50; ++I)
+    Pool.submit([&Ran, I] {
+      if (I == 10)
+        throw std::runtime_error("one bad task");
+      ++Ran;
+    });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  EXPECT_EQ(Ran.load(), 49);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<int> Hits(5000, 0);
+  parallelFor(
+      Hits.size(), [&](size_t I) { ++Hits[I]; }, /*Jobs=*/4);
+  for (size_t I = 0; I < Hits.size(); ++I)
+    ASSERT_EQ(Hits[I], 1) << "index " << I;
+}
+
+TEST(ParallelFor, SerialFallbackRunsInOrderOnThisThread) {
+  // jobs=1 must not spawn: every index runs on the caller, in order.
+  std::thread::id Caller = std::this_thread::get_id();
+  std::vector<size_t> Order;
+  parallelFor(
+      100,
+      [&](size_t I) {
+        EXPECT_EQ(std::this_thread::get_id(), Caller);
+        Order.push_back(I);
+      },
+      /*Jobs=*/1);
+  std::vector<size_t> Want(100);
+  std::iota(Want.begin(), Want.end(), 0);
+  EXPECT_EQ(Order, Want);
+}
+
+TEST(ParallelFor, ExceptionPropagatesOut) {
+  EXPECT_THROW(parallelFor(
+                   100,
+                   [](size_t I) {
+                     if (I == 37)
+                       throw std::out_of_range("body failed");
+                   },
+                   /*Jobs=*/4),
+               std::out_of_range);
+}
+
+TEST(ParallelFor, NestedLoopsRunInlineAndComplete) {
+  // A parallelFor inside a worker task must degrade to an inline loop
+  // (documented in Parallel.h) rather than deadlock on a second pool.
+  std::vector<std::vector<int>> Inner(8);
+  parallelFor(
+      Inner.size(),
+      [&](size_t I) {
+        Inner[I].assign(64, 0);
+        parallelFor(
+            Inner[I].size(), [&, I](size_t J) { ++Inner[I][J]; },
+            /*Jobs=*/4);
+      },
+      /*Jobs=*/4);
+  for (const std::vector<int> &V : Inner)
+    for (int X : V)
+      EXPECT_EQ(X, 1);
+}
+
+TEST(ParallelFor, JobsZeroResolvesToHardwareConcurrency) {
+  unsigned HW = std::thread::hardware_concurrency();
+  unsigned Want = HW >= 1 ? HW : 1;
+  EXPECT_EQ(resolveJobs(0), Want);
+  EXPECT_EQ(resolveJobs(3), 3u);
+  // And a jobs=0 loop still covers everything.
+  std::vector<int> Hits(257, 0);
+  parallelFor(
+      Hits.size(), [&](size_t I) { ++Hits[I]; }, /*Jobs=*/0);
+  for (int H : Hits)
+    EXPECT_EQ(H, 1);
+}
+
+TEST(ParallelFor, MoreJobsThanTasksIsSafe) {
+  std::vector<int> Hits(3, 0);
+  parallelFor(
+      Hits.size(), [&](size_t I) { ++Hits[I]; }, /*Jobs=*/16);
+  EXPECT_EQ(Hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ParallelMap, ResultsIndexedByTaskNotCompletion) {
+  std::vector<uint64_t> Out = parallelMap(
+      1000, [](size_t I) { return static_cast<uint64_t>(I * I); },
+      /*Jobs=*/8);
+  ASSERT_EQ(Out.size(), 1000u);
+  for (size_t I = 0; I < Out.size(); ++I)
+    ASSERT_EQ(Out[I], I * I);
+}
+
+TEST(ParallelMap, SerialAndParallelBitIdentical) {
+  auto Body = [](size_t I) {
+    // Something with float rounding, to show order independence.
+    double X = 0.0;
+    for (size_t J = 0; J <= I % 97; ++J)
+      X += 1.0 / static_cast<double>(J + 1);
+    return X;
+  };
+  std::vector<double> Serial = parallelMap(500, Body, /*Jobs=*/1);
+  std::vector<double> Parallel = parallelMap(500, Body, /*Jobs=*/4);
+  EXPECT_EQ(Serial, Parallel);
+}
+
+TEST(ParallelJobs, AmbientSettingRoundTrips) {
+  unsigned Before = parallelJobs();
+  setParallelJobs(5);
+  EXPECT_EQ(parallelJobs(), 5u);
+  setParallelJobs(static_cast<int>(Before));
+  EXPECT_EQ(parallelJobs(), Before);
+}

@@ -10,9 +10,13 @@
 //   spm_tool select  <profile-file> [--ilower N] [--limit N] [--procs-only]
 //                    [-o <file>]
 //   spm_tool report  <workload> <marker-file> [--input train|ref]
+//   spm_tool bench   [<workload>...] [--jobs N] [--ilower N] [--limit N]
 //   spm_tool dot     <workload> [--input train|ref]
 //
 // Files default to stdout; pass "-" to read a file argument from stdin.
+// Every command accepts --jobs N (or the SPM_JOBS environment variable):
+// independent profiling runs and workloads then fan out over N worker
+// threads with byte-identical output to --jobs 1.
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,10 +27,12 @@
 #include "markers/Selector.h"
 #include "markers/Serialize.h"
 #include "phase/Metrics.h"
+#include "support/Parallel.h"
 #include "support/Table.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -47,7 +53,10 @@ int usage() {
       "  spm_tool select <profile-file> [--ilower N] [--limit N]\n"
       "                  [--procs-only] [-o <file>]\n"
       "  spm_tool report <workload> <marker-file> [--input train|ref]\n"
-      "  spm_tool dot <workload> [--input train|ref]\n");
+      "  spm_tool bench [<workload>...] [--jobs N] [--ilower N] [--limit N]\n"
+      "  spm_tool dot <workload> [--input train|ref]\n"
+      "common: --jobs N parallelizes independent runs (0 = all cores;\n"
+      "        SPM_JOBS is the environment fallback)\n");
   return 2;
 }
 
@@ -110,6 +119,8 @@ CommonArgs parseArgs(int Argc, char **Argv, int Start) {
       A.Config.MaxLimit = std::strtoull(Argv[++I], nullptr, 10);
     } else if (Arg == "--procs-only") {
       A.Config.ProceduresOnly = true;
+    } else if (Arg == "--jobs" && I + 1 < Argc) {
+      setParallelJobs(std::atoi(Argv[++I]));
     } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
       std::fprintf(stderr, "unknown option %s\n", Arg.c_str());
       A.Bad = true;
@@ -224,6 +235,70 @@ int cmdReport(const CommonArgs &A) {
   return 0;
 }
 
+/// `spm_tool bench`: the full profile -> select -> evaluate pipeline on
+/// several workloads at once. Workloads (and within each workload the
+/// train/ref profiling runs) are independent, so they spread across the
+/// --jobs worker pool; the table is printed in argument order and is
+/// byte-identical at every job count.
+int cmdBench(const CommonArgs &A) {
+  std::vector<std::string> Names =
+      A.Positional.empty() ? WorkloadRegistry::allNames() : A.Positional;
+  for (const std::string &N : Names)
+    if (!knownWorkload(N)) {
+      std::fprintf(stderr, "bench: unknown workload %s\n", N.c_str());
+      return 1;
+    }
+
+  struct BenchRow {
+    std::string Name;
+    uint64_t Instrs = 0;
+    size_t Markers = 0, Intervals = 0, Phases = 0;
+    double Cov = 0.0, Whole = 0.0;
+  };
+  std::vector<BenchRow> Rows = parallelMap(Names.size(), [&](size_t I) {
+    BenchRow Row;
+    Workload W = WorkloadRegistry::create(Names[I]);
+    auto Bin = lower(*W.Program, LoweringOptions::O2());
+    LoopIndex Loops = LoopIndex::build(*Bin);
+    auto Graphs = buildCallLoopGraphs(*Bin, Loops, {&W.Train, &W.Ref});
+    SelectionResult Sel = selectMarkers(*Graphs[0], A.Config);
+    MarkerRun Run =
+        runMarkerIntervals(*Bin, Loops, *Graphs[0], Sel.Markers, W.Ref,
+                           /*CollectBbv=*/false);
+    ClassificationSummary S = summarizeClassification(
+        Run.Intervals, phasesFromRecords(Run.Intervals), cpiMetric);
+    Row.Name = W.displayName();
+    Row.Instrs = Run.Run.TotalInstrs;
+    Row.Markers = Sel.Markers.size();
+    Row.Intervals = S.NumIntervals;
+    Row.Phases = S.NumPhases;
+    Row.Cov = S.OverallCov;
+    Row.Whole = wholeProgramCov(Run.Intervals, cpiMetric);
+    return Row;
+  });
+
+  Table T;
+  T.row()
+      .cell("workload")
+      .cell("ref instrs")
+      .cell("mkrs")
+      .cell("intervals")
+      .cell("phases")
+      .cell("CoV CPI")
+      .cell("whole-run");
+  for (const BenchRow &Row : Rows)
+    T.row()
+        .cell(Row.Name)
+        .cell(Row.Instrs)
+        .cell(static_cast<uint64_t>(Row.Markers))
+        .cell(static_cast<uint64_t>(Row.Intervals))
+        .cell(static_cast<uint64_t>(Row.Phases))
+        .percentCell(Row.Cov)
+        .percentCell(Row.Whole);
+  std::printf("%s", T.str().c_str());
+  return 0;
+}
+
 int cmdDot(const CommonArgs &A) {
   if (A.Positional.empty() || !knownWorkload(A.Positional[0])) {
     std::fprintf(stderr, "dot: unknown workload\n");
@@ -253,6 +328,8 @@ int main(int Argc, char **Argv) {
     return cmdSelect(A);
   if (Cmd == "report")
     return cmdReport(A);
+  if (Cmd == "bench")
+    return cmdBench(A);
   if (Cmd == "dot")
     return cmdDot(A);
   return usage();
