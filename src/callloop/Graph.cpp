@@ -48,30 +48,30 @@ CallLoopGraph::CallLoopGraph(uint32_t NumFuncsIn, uint32_t NumLoopsIn) {
   }
 }
 
-CallLoopEdge &CallLoopGraph::edgeRef(NodeId From, NodeId To) {
+uint32_t CallLoopGraph::internEdge(NodeId From, NodeId To) {
   assert(!Finalized && "graph already finalized");
   assert(From < Nodes.size() && To < Nodes.size() && "node id out of range");
-  auto [It, Inserted] = EdgeMap.try_emplace(key(From, To), nullptr);
+  auto [It, Inserted] =
+      EdgeMap.try_emplace(key(From, To), static_cast<uint32_t>(Edges.size()));
   if (Inserted) {
-    auto E = std::make_unique<CallLoopEdge>();
-    E->From = From;
-    E->To = To;
-    It->second = E.get();
+    CallLoopEdge E;
+    E.From = From;
+    E.To = To;
     Edges.push_back(std::move(E));
   }
-  return *It->second;
+  return It->second;
 }
 
 const CallLoopEdge *CallLoopGraph::findEdge(NodeId From, NodeId To) const {
   auto It = EdgeMap.find(key(From, To));
-  return It == EdgeMap.end() ? nullptr : It->second;
+  return It == EdgeMap.end() ? nullptr : &Edges[It->second];
 }
 
 std::vector<const CallLoopEdge *> CallLoopGraph::sortedEdges() const {
   std::vector<const CallLoopEdge *> Out;
   Out.reserve(Edges.size());
   for (const auto &E : Edges)
-    Out.push_back(E.get());
+    Out.push_back(&E);
   std::sort(Out.begin(), Out.end(),
             [](const CallLoopEdge *A, const CallLoopEdge *B) {
               if (A->From != B->From)

@@ -95,6 +95,23 @@ public:
     edgeRef(From, To).Hier.add(static_cast<double>(Hier));
   }
 
+  /// Interns edge (From -> To) and returns its dense id — a stable index
+  /// consumers can cache (e.g. on tracker frames) to record traversals
+  /// without re-hashing the node pair on every event.
+  uint32_t internEdge(NodeId From, NodeId To);
+
+  /// The edge with interned id \p Id.
+  CallLoopEdge &edgeById(uint32_t Id) {
+    assert(Id < Edges.size() && "edge id out of range");
+    return Edges[Id];
+  }
+
+  /// Records one traversal on a previously interned edge.
+  void addTraversalById(uint32_t Id, uint64_t Hier) {
+    assert(!Finalized && "graph already finalized");
+    edgeById(Id).Hier.add(static_cast<double>(Hier));
+  }
+
   /// Installs deserialized statistics on an edge (profile loading).
   void setEdgeStats(NodeId From, NodeId To, RunningStat Stats) {
     edgeRef(From, To).Hier = std::move(Stats);
@@ -108,8 +125,12 @@ public:
     Nodes[Id].SrcStmtId = SrcStmtId;
   }
 
-  /// Returns the edge, creating it with empty stats if absent.
-  CallLoopEdge &edgeRef(NodeId From, NodeId To);
+  /// Returns the edge, creating it with empty stats if absent. The
+  /// reference is invalidated by the next intern of a *new* edge; use
+  /// internEdge + addTraversalById to hold onto an edge across inserts.
+  CallLoopEdge &edgeRef(NodeId From, NodeId To) {
+    return Edges[internEdge(From, To)];
+  }
 
   /// Returns the edge or null when never traversed.
   const CallLoopEdge *findEdge(NodeId From, NodeId To) const;
@@ -141,10 +162,12 @@ private:
   uint32_t NumLoops = 0;
   NodeId LoopBase = 1;
   std::vector<CallLoopNode> Nodes;
-  // Deque-like stable storage: edges are referenced by pointer from the
-  // adjacency lists, so the container must not relocate them.
-  std::vector<std::unique_ptr<CallLoopEdge>> Edges;
-  std::unordered_map<uint64_t, CallLoopEdge *> EdgeMap;
+  // Dense edge storage indexed by interned edge id. Interning a new edge
+  // may relocate the vector, so edge *pointers* (findEdge, sortedEdges,
+  // adjacency lists) are only stable once profiling is done; ids are always
+  // stable — which is what the hot path caches.
+  std::vector<CallLoopEdge> Edges;
+  std::unordered_map<uint64_t, uint32_t> EdgeMap; ///< key(From,To) -> id.
   std::vector<std::vector<const CallLoopEdge *>> Incoming;
   std::vector<std::vector<const CallLoopEdge *>> Outgoing;
   bool Finalized = false;

@@ -27,6 +27,10 @@
 namespace spm {
 
 /// Accumulates hierarchical-instruction-count statistics per edge.
+/// The listener-indirection form of profiling; the production driver below
+/// uses CallLoopTracker::setProfileTarget instead (same stats, no per-edge
+/// virtual call or hash lookup), so this class mainly serves tests and
+/// callers composing their own listener stacks.
 class GraphProfiler : public TrackerListener {
 public:
   explicit GraphProfiler(CallLoopGraph &G) : G(G) {}
@@ -48,16 +52,19 @@ buildCallLoopGraph(const Binary &B, const LoopIndex &Loops,
                    ExecutionObserver *Extra = nullptr) {
   auto G = std::make_unique<CallLoopGraph>(B, Loops);
   CallLoopTracker Tracker(B, Loops, *G);
-  GraphProfiler Profiler(*G);
-  Tracker.addListener(&Profiler);
-
-  ObserverMux Mux;
-  Mux.add(&Tracker);
-  if (Extra)
-    Mux.add(Extra);
+  Tracker.setProfileTarget(G.get());
 
   Interpreter Interp(B, In);
-  Interp.run(Mux, MaxInstrs);
+  if (Extra) {
+    // Extra's dynamic type is unknown, so devirtualized replay is out;
+    // run batched with per-event mux fan-out (the compatibility path).
+    ObserverMux Mux;
+    Mux.add(&Tracker);
+    Mux.add(Extra);
+    Interp.runBatched(Mux, MaxInstrs);
+  } else {
+    Interp.runFast(Tracker, MaxInstrs);
+  }
   G->finalize();
   return G;
 }

@@ -65,12 +65,29 @@ public:
 class CallLoopTracker : public ExecutionObserver {
 public:
   /// \p G is used only for its static node numbering; the tracker never
-  /// mutates it.
+  /// mutates it unless setProfileTarget() opts in.
   CallLoopTracker(const Binary &B, const LoopIndex &Loops,
                   const CallLoopGraph &G)
       : B(B), Loops(Loops), G(G) {}
 
   void addListener(TrackerListener *L) { Listeners.push_back(L); }
+
+  /// Fast-path profiling: record every edge traversal directly into \p P
+  /// (which must be the graph the tracker was constructed with), bypassing
+  /// the TrackerListener indirection. Edge ids are interned once per
+  /// construct and cached on the shadow-stack frames, so the steady-state
+  /// hot path does no hashing — a frame pop is one array-indexed stat
+  /// update. Produces exactly the stats a GraphProfiler listener would.
+  void setProfileTarget(CallLoopGraph *P) {
+    assert((!P || P == &G) && "profile target must be the bound graph");
+    PG = P;
+    if (PG) {
+      LoopBodyEdge.assign(Loops.size(), ~0u);
+      ProcBodyEdge.assign(B.Funcs.size(), ~0u);
+      LoopHeadCache.assign(Loops.size(), EdgeCache());
+      ProcHeadCache.assign(B.Funcs.size(), EdgeCache());
+    }
+  }
 
   void onRunStart(const Binary &Bin, const WorkloadInput &In) override;
   void onBlock(const LoweredBlock &Blk) override;
@@ -89,15 +106,63 @@ private:
     uint64_t Hier = 0;          ///< Hierarchical instructions so far.
     int32_t LoopId = -1;        ///< For loop frames.
     uint32_t FuncId = 0;        ///< Owning function (loop & proc frames).
+    uint32_t EdgeId = ~0u;      ///< Interned edge id when profiling direct.
+  };
+
+  /// Monomorphic inline cache: last-seen edge source per construct, for the
+  /// two node kinds whose incoming edge source varies (heads).
+  struct EdgeCache {
+    NodeId From = ~0u;
+    uint32_t Id = ~0u;
   };
 
   NodeId currentCtx() const { return Stack.back().Node; }
 
+  /// Interned edge id for (From -> Node), cached per construct. Body edges
+  /// have a fixed source (their head), so a plain dense slot suffices;
+  /// head edges key the cache on the last-seen source.
+  uint32_t internCached(NodeKind K, NodeId Node, NodeId From, int32_t LoopId,
+                        uint32_t FuncId) {
+    switch (K) {
+    case NodeKind::LoopBody: {
+      uint32_t &Slot = LoopBodyEdge[LoopId];
+      if (Slot == ~0u)
+        Slot = PG->internEdge(From, Node);
+      return Slot;
+    }
+    case NodeKind::ProcBody: {
+      uint32_t &Slot = ProcBodyEdge[FuncId];
+      if (Slot == ~0u)
+        Slot = PG->internEdge(From, Node);
+      return Slot;
+    }
+    case NodeKind::LoopHead: {
+      EdgeCache &C = LoopHeadCache[LoopId];
+      if (C.From != From) {
+        C.From = From;
+        C.Id = PG->internEdge(From, Node);
+      }
+      return C.Id;
+    }
+    case NodeKind::ProcHead: {
+      EdgeCache &C = ProcHeadCache[FuncId];
+      if (C.From != From) {
+        C.From = From;
+        C.Id = PG->internEdge(From, Node);
+      }
+      return C.Id;
+    }
+    default:
+      return PG->internEdge(From, Node);
+    }
+  }
+
   void pushFrame(NodeKind K, NodeId Node, NodeId From, int32_t LoopId,
                  uint32_t FuncId) {
+    uint32_t EdgeId = PG ? internCached(K, Node, From, LoopId, FuncId) : ~0u;
     for (TrackerListener *L : Listeners)
       L->onEdgeBegin(From, Node);
-    Stack.push_back({K, Node, From, 0, LoopId, FuncId});
+    Stack.push_back({K, Node, From, 0, LoopId, FuncId, EdgeId});
   }
 
   void popFrame() {
@@ -105,6 +170,8 @@ private:
     Frame F = Stack.back();
     Stack.pop_back();
     Stack.back().Hier += F.Hier;
+    if (PG)
+      PG->addTraversalById(F.EdgeId, F.Hier);
     for (TrackerListener *L : Listeners)
       L->onEdgeEnd(F.EdgeFrom, F.Node, F.Hier);
   }
@@ -115,9 +182,14 @@ private:
   const Binary &B;
   const LoopIndex &Loops;
   const CallLoopGraph &G;
+  CallLoopGraph *PG = nullptr; ///< Direct profile target (opt-in, mutable).
   std::vector<TrackerListener *> Listeners;
   std::vector<Frame> Stack;
-  std::vector<uint32_t> ActiveDepth; ///< Per function activation count.
+  std::vector<uint32_t> ActiveDepth;  ///< Per function activation count.
+  std::vector<uint32_t> LoopBodyEdge; ///< LoopId -> head->body edge id.
+  std::vector<uint32_t> ProcBodyEdge; ///< FuncId -> head->body edge id.
+  std::vector<EdgeCache> LoopHeadCache; ///< LoopId -> last head-entry edge.
+  std::vector<EdgeCache> ProcHeadCache; ///< FuncId -> last episode edge.
 };
 
 } // namespace spm

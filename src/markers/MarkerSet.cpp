@@ -2,12 +2,45 @@
 
 #include "markers/MarkerSet.h"
 
+#include <algorithm>
 #include <cstdio>
-#include <map>
 
 using namespace spm;
 
 namespace {
+
+/// A sorted (key -> value) vector with map-like lookup, built once from
+/// unsorted insertions. On duplicate keys the last insertion wins,
+/// matching the std::map operator[] overwrite it replaces.
+template <class K, class V> class SortedLookup {
+public:
+  void insert(K Key, V Value) { Entries.push_back({std::move(Key), Value}); }
+
+  void seal() {
+    std::stable_sort(
+        Entries.begin(), Entries.end(),
+        [](const auto &A, const auto &B) { return A.first < B.first; });
+    // Collapse equal-key runs to their last (latest-inserted) entry.
+    auto Out = Entries.begin();
+    for (auto It = Entries.begin(); It != Entries.end(); ++It) {
+      if (Out != Entries.begin() && std::prev(Out)->first == It->first)
+        *std::prev(Out) = *It;
+      else
+        *Out++ = *It;
+    }
+    Entries.erase(Out, Entries.end());
+  }
+
+  const V *find(const K &Key) const {
+    auto It = std::lower_bound(
+        Entries.begin(), Entries.end(), Key,
+        [](const auto &E, const K &Want) { return E.first < Want; });
+    return (It == Entries.end() || It->first != Key) ? nullptr : &It->second;
+  }
+
+private:
+  std::vector<std::pair<K, V>> Entries;
+};
 
 PortableEndpoint endpointFor(NodeId N, const CallLoopGraph &G,
                              const std::vector<std::string> &FuncNames) {
@@ -32,26 +65,24 @@ PortableEndpoint endpointFor(NodeId N, const CallLoopGraph &G,
 
 /// Resolves a portable endpoint to a node id in \p G, or -1 when absent.
 int64_t resolve(const PortableEndpoint &E, const CallLoopGraph &G,
-                const std::map<std::string, uint32_t> &FuncByName,
-                const std::map<uint32_t, uint32_t> &LoopByStmt) {
+                const SortedLookup<std::string, uint32_t> &FuncByName,
+                const SortedLookup<uint32_t, uint32_t> &LoopByStmt) {
   switch (E.K) {
   case NodeKind::Root:
     return RootNode;
   case NodeKind::ProcHead:
   case NodeKind::ProcBody: {
-    auto It = FuncByName.find(E.Func);
-    if (It == FuncByName.end())
+    const uint32_t *F = FuncByName.find(E.Func);
+    if (!F)
       return -1;
-    return E.K == NodeKind::ProcHead ? G.procHead(It->second)
-                                     : G.procBody(It->second);
+    return E.K == NodeKind::ProcHead ? G.procHead(*F) : G.procBody(*F);
   }
   case NodeKind::LoopHead:
   case NodeKind::LoopBody: {
-    auto It = LoopByStmt.find(E.LoopStmt);
-    if (It == LoopByStmt.end())
+    const uint32_t *L = LoopByStmt.find(E.LoopStmt);
+    if (!L)
       return -1;
-    return E.K == NodeKind::LoopHead ? G.loopHead(It->second)
-                                     : G.loopBody(It->second);
+    return E.K == NodeKind::LoopHead ? G.loopHead(*L) : G.loopBody(*L);
   }
   }
   return -1;
@@ -87,12 +118,14 @@ std::vector<PortableMarker> spm::toPortable(const MarkerSet &M,
 MarkerSet spm::fromPortable(const std::vector<PortableMarker> &PM,
                             const CallLoopGraph &G, const Binary &B,
                             const LoopIndex &Loops) {
-  std::map<std::string, uint32_t> FuncByName;
+  SortedLookup<std::string, uint32_t> FuncByName;
   for (const LoweredFunction &F : B.Funcs)
-    FuncByName[F.Name] = F.Id;
-  std::map<uint32_t, uint32_t> LoopByStmt;
+    FuncByName.insert(F.Name, F.Id);
+  FuncByName.seal();
+  SortedLookup<uint32_t, uint32_t> LoopByStmt;
   for (const StaticLoop &L : Loops.loops())
-    LoopByStmt[L.SrcStmtId] = L.Id;
+    LoopByStmt.insert(L.SrcStmtId, L.Id);
+  LoopByStmt.seal();
 
   MarkerSet M;
   for (const PortableMarker &P : PM) {

@@ -24,8 +24,9 @@
 
 #include "callloop/Graph.h"
 
+#include <algorithm>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace spm {
@@ -49,16 +50,18 @@ public:
   /// Adds a marker; returns its index. Duplicate (From,To) pairs assert.
   int32_t add(Marker M) {
     uint64_t K = key(M.From, M.To);
-    assert(!Index.count(K) && "duplicate marker edge");
-    Index[K] = static_cast<int32_t>(List.size());
+    auto It = std::lower_bound(Index.begin(), Index.end(), K, KeyLess);
+    assert((It == Index.end() || It->first != K) && "duplicate marker edge");
+    Index.insert(It, {K, static_cast<int32_t>(List.size())});
     List.push_back(M);
     return static_cast<int32_t>(List.size()) - 1;
   }
 
   /// Index of the marker on edge (From,To), or -1.
   int32_t indexOf(NodeId From, NodeId To) const {
-    auto It = Index.find(key(From, To));
-    return It == Index.end() ? -1 : It->second;
+    uint64_t K = key(From, To);
+    auto It = std::lower_bound(Index.begin(), Index.end(), K, KeyLess);
+    return (It == Index.end() || It->first != K) ? -1 : It->second;
   }
 
   size_t size() const { return List.size(); }
@@ -73,8 +76,14 @@ private:
   static uint64_t key(NodeId From, NodeId To) {
     return (static_cast<uint64_t>(From) << 32) | To;
   }
+  static bool KeyLess(const std::pair<uint64_t, int32_t> &E, uint64_t K) {
+    return E.first < K;
+  }
   std::vector<Marker> List;
-  std::unordered_map<uint64_t, int32_t> Index;
+  /// (edge key -> marker index), sorted by key. Marker sets are small and
+  /// queried far more than they are built, so a sorted vector beats a hash
+  /// map on both footprint and lookup.
+  std::vector<std::pair<uint64_t, int32_t>> Index;
 };
 
 /// Source-level endpoint of a portable marker.

@@ -46,11 +46,9 @@ runFixedIntervals(const Binary &B, const WorkloadInput &In, uint64_t Len,
                   const PerfModelOptions &PerfOpts = PerfModelOptions()) {
   PerfModel Perf(PerfOpts);
   IntervalBuilder Ivb = IntervalBuilder::fixedLength(Len, &Perf, CollectBbv);
-  ObserverMux Mux;
-  Mux.add(&Ivb);
-  Mux.add(&Perf);
+  StaticMux<IntervalBuilder, PerfModel> Mux(Ivb, Perf);
   Interpreter Interp(B, In);
-  Interp.run(Mux, MaxInstrs);
+  Interp.runFast(Mux, MaxInstrs);
   return Ivb.takeIntervals();
 }
 
@@ -75,12 +73,13 @@ runMarkerIntervals(const Binary &B, const LoopIndex &Loops,
       Out.Firings.push_back(Idx);
   });
 
-  ObserverMux Mux;
-  Mux.add(&Tracker); // Fires markers first...
-  Mux.add(&Ivb);     // ...so cuts precede interval accounting...
-  Mux.add(&Perf);    // ...which precedes counter updates.
+  // Declaration order is the fan-out order, same contract as ObserverMux:
+  // tracker fires markers first, so cuts precede interval accounting,
+  // which precedes counter updates.
+  StaticMux<CallLoopTracker, IntervalBuilder, PerfModel> Mux(Tracker, Ivb,
+                                                             Perf);
   Interpreter Interp(B, In);
-  Out.Run = Interp.run(Mux, MaxInstrs);
+  Out.Run = Interp.runFast(Mux, MaxInstrs);
   Out.Intervals = Ivb.takeIntervals();
   return Out;
 }

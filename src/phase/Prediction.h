@@ -75,6 +75,12 @@ private:
 /// learned successor).
 class MarkovPhasePredictor {
 public:
+  MarkovPhasePredictor() {
+    // Phase ids are small (marker indices); one reserve covers any
+    // realistic alphabet without rehashing mid-trace.
+    Table.reserve(256);
+  }
+
   /// Returns the predicted successor of \p Phase, or -1 when unknown.
   int32_t predict(int32_t Phase) const {
     auto It = Table.find(Phase);

@@ -34,7 +34,11 @@ public:
       std::numeric_limits<uint64_t>::max();
 
   explicit ReuseDistanceTracker(uint32_t BlockBytes = 64)
-      : BlockBytes(BlockBytes) {}
+      : BlockBytes(BlockBytes) {
+    // Workload footprints run to tens of thousands of distinct blocks;
+    // pre-bucketing skips the rehash cascade during warm-up.
+    LastTime.reserve(1u << 16);
+  }
 
   /// Records an access to \p Addr; returns its reuse distance, or ColdMiss
   /// for the first access to the block.

@@ -22,6 +22,16 @@
 
 namespace spm {
 
+/// The SplitMix64 output function: a strong 64-bit mix of its argument.
+/// Feeding it successive multiples of the golden-ratio increment yields the
+/// SplitMix64 stream; feeding it arbitrary counters yields an O(1)-seekable
+/// ("counter-based") random sequence.
+inline uint64_t splitMix64(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
 /// SplitMix64 generator, used to seed Xoshiro and as a cheap standalone
 /// stream. Passes BigCrush when used as intended (one stream per seed).
 class SplitMix64 {
@@ -30,10 +40,7 @@ public:
 
   /// Returns the next 64-bit value in the stream.
   uint64_t next() {
-    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
-    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
-    return Z ^ (Z >> 31);
+    return splitMix64(State += 0x9e3779b97f4a7c15ULL);
   }
 
 private:

@@ -28,7 +28,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace spm {
@@ -79,6 +78,14 @@ public:
     PendingPhase = MarkerIdx;
   }
 
+  void onRunStart(const Binary &B, const WorkloadInput &In) override {
+    (void)In;
+    if (CollectBbv && Stamp.size() < B.Blocks.size()) {
+      DenseW.resize(B.Blocks.size(), 0.0);
+      Stamp.resize(B.Blocks.size(), 0);
+    }
+  }
+
   void onBlock(const LoweredBlock &Blk) override {
     if (PendingCut) {
       cut();
@@ -88,8 +95,22 @@ public:
       cut();
     }
     CurInstrs += Blk.NumInstrs;
-    if (CollectBbv)
-      Weights[Blk.GlobalId] += Blk.NumInstrs;
+    if (CollectBbv) {
+      uint32_t Id = Blk.GlobalId;
+      if (Id >= Stamp.size()) { // Standalone use without onRunStart.
+        DenseW.resize(Id + 1, 0.0);
+        Stamp.resize(Id + 1, 0);
+      }
+      // Epoch stamping (not a weight test): blocks with zero instructions
+      // must still appear in the vector, as the old sparse map's entries
+      // did.
+      if (Stamp[Id] != Epoch) {
+        Stamp[Id] = Epoch;
+        DenseW[Id] = 0.0;
+        Touched.push_back(Id);
+      }
+      DenseW[Id] += Blk.NumInstrs;
+    }
   }
 
   void onRunEnd(uint64_t TotalInstrs) override {
@@ -116,9 +137,12 @@ private:
       LastPerf = Perf->counters();
     }
     if (CollectBbv) {
-      R.Vector.assign(Weights.begin(), Weights.end());
-      std::sort(R.Vector.begin(), R.Vector.end());
-      Weights.clear();
+      std::sort(Touched.begin(), Touched.end());
+      R.Vector.reserve(Touched.size());
+      for (uint32_t Id : Touched)
+        R.Vector.push_back({Id, DenseW[Id]});
+      Touched.clear();
+      ++Epoch;
     }
     StartInstr += CurInstrs;
     CurInstrs = 0;
@@ -135,7 +159,12 @@ private:
   bool PendingCut = false;
   int32_t PendingPhase = ProloguePhase;
   PerfCounters LastPerf;
-  std::unordered_map<uint32_t, double> Weights;
+  // Dense per-block BBV accumulator: DenseW[id] is valid for the current
+  // interval iff Stamp[id] == Epoch; Touched lists the valid ids.
+  std::vector<double> DenseW;
+  std::vector<uint64_t> Stamp;
+  std::vector<uint32_t> Touched;
+  uint64_t Epoch = 1;
   std::vector<IntervalRecord> Records;
 };
 

@@ -124,6 +124,25 @@ public:
       ++C.L2Misses;
   }
 
+  /// Bulk form: one access-counter bump for the whole run, cache probes in
+  /// stream order (identical counter values to per-access delivery).
+  void onMemRun(const uint64_t *Addrs, uint32_t Count,
+                bool IsStore) override {
+    (void)IsStore;
+    C.L1Accesses += Count;
+    for (uint32_t I = 0; I < Count; ++I) {
+      uint64_t Addr = Addrs[I];
+      if (DL1.access(Addr))
+        continue;
+      ++C.L1Misses;
+      if (!L2)
+        continue;
+      ++C.L2Accesses;
+      if (!L2->access(Addr))
+        ++C.L2Misses;
+    }
+  }
+
   void onBranch(uint64_t Pc, uint64_t Target, bool Taken, bool Backward,
                 bool Conditional) override {
     (void)Target;

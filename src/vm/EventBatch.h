@@ -1,0 +1,441 @@
+//===- vm/EventBatch.h - Batched instrumentation event stream ---*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batched form of the ExecutionObserver event stream. Instead of one
+/// virtual call per retired block / memory access / branch, the interpreter
+/// fills a flat structure-of-arrays EventBatch and flushes it to the
+/// consumer in chunks of ~4K events. Two dispatch modes drain a batch:
+///
+///  - replayEvents():       per-event virtual dispatch onto an
+///                          ExecutionObserver — the compatibility path that
+///                          makes runBatched() bit-identical to the legacy
+///                          per-event Interpreter::run() for any observer,
+///                          including ObserverMux fan-out.
+///  - replayEventsStatic(): compile-time dispatch onto a concrete observer
+///                          type. Handler calls are name-qualified, so they
+///                          bind statically (zero virtual calls per event)
+///                          and handlers an observer never overrides
+///                          (inherited ExecutionObserver no-ops) are
+///                          detected via ObserverTraits and skipped without
+///                          even iterating their payload.
+///
+/// StaticMux<Os...> is the devirtualized sibling of ObserverMux: a fixed
+/// set of concrete observers dispatched per event, in declaration order,
+/// with the same event-level interleaving the dynamic mux guarantees (every
+/// observer sees event N before any observer sees event N+1 — the ordering
+/// contract marker-driven interval cutting relies on).
+///
+/// Memory accesses are carried as packed (first, count, store) *runs*, one
+/// per MemAccessSpec a block executes, over a shared address array — the
+/// bulk record form consumers can process without per-access dispatch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_VM_EVENTBATCH_H
+#define SPM_VM_EVENTBATCH_H
+
+#include "ir/Binary.h"
+#include "ir/Input.h"
+
+#include <cstdint>
+#include <tuple>
+#include <type_traits>
+#include <vector>
+
+namespace spm {
+
+class ExecutionObserver;
+
+/// One run of memory accesses issued by a single MemAccessSpec of a block:
+/// Count addresses starting at EventBatch::Addrs[First].
+struct MemRunRecord {
+  uint32_t First = 0;
+  uint32_t Count = 0;
+  bool IsStore = false;
+};
+
+/// One executed branch.
+struct BranchRecord {
+  uint64_t Pc = 0;
+  uint64_t Target = 0;
+  bool Taken = false;
+  bool Backward = false;
+  bool Conditional = false;
+};
+
+/// One call event.
+struct CallRecord {
+  uint64_t SiteAddr = 0;
+  uint32_t Callee = 0;
+};
+
+/// A flat SoA chunk of the instrumentation event stream. The tape (Kinds)
+/// preserves the exact event order; each kind's payload lives in its own
+/// dense array and is consumed with a running per-kind cursor, so replay
+/// never chases pointers or switches on wide variants.
+class EventBatch {
+public:
+  enum class Kind : uint8_t { Block, MemRun, Branch, Call, Return };
+
+  /// Ordered event tape; Kinds[i] selects which payload array event i
+  /// consumes the next element of.
+  std::vector<Kind> Kinds;
+  std::vector<uint32_t> Blocks; ///< Global block ids (Binary::Blocks index).
+  std::vector<MemRunRecord> MemRuns;
+  std::vector<uint64_t> Addrs; ///< Backing store for all MemRuns.
+  std::vector<BranchRecord> Branches;
+  std::vector<CallRecord> Calls;
+  std::vector<uint32_t> Returns; ///< Callee function ids.
+
+  /// Binary the block ids refer to. Set once at run start.
+  const Binary *Bin = nullptr;
+
+  size_t size() const { return Kinds.size(); }
+  bool empty() const { return Kinds.empty(); }
+
+  void clear() {
+    Kinds.clear();
+    Blocks.clear();
+    MemRuns.clear();
+    Addrs.clear();
+    Branches.clear();
+    Calls.clear();
+    Returns.clear();
+  }
+
+  void reserve(size_t Events) {
+    Kinds.reserve(Events);
+    Blocks.reserve(Events / 2);
+    MemRuns.reserve(Events / 2);
+    Addrs.reserve(Events);
+    Branches.reserve(Events / 4);
+  }
+};
+
+/// Type-erased batch consumer handed to the interpreter core. One indirect
+/// call per run boundary / ~4K-event flush, never per event.
+struct BatchSink {
+  void *Ctx = nullptr;
+  void (*RunStart)(void *Ctx, const Binary &B, const WorkloadInput &In) =
+      nullptr;
+  void (*Flush)(void *Ctx, const EventBatch &EB) = nullptr;
+  void (*RunEnd)(void *Ctx, uint64_t TotalInstrs) = nullptr;
+  /// False when the consumer statically has no memory-access handler: the
+  /// interpreter then skips materializing addresses (while advancing every
+  /// RNG/cursor state identically, so the rest of the stream is unchanged)
+  /// and emits no MemRun events.
+  bool WantsMem = true;
+  /// Bitmask of event kinds (bit i = EventBatch::Kind i) the consumer has
+  /// handlers for; unwanted kinds are dropped at append time instead of
+  /// being buffered and skipped at replay. 0xFF = keep everything (the
+  /// dynamic-dispatch path, where the handler set is unknowable).
+  uint8_t WantsKinds = 0xFF;
+};
+
+/// Drains \p EB into \p O with one virtual call per event — the
+/// compatibility replay that reproduces the legacy per-event stream (and its
+/// ObserverMux interleaving) exactly. Defined in Interpreter.cpp.
+void replayEvents(const EventBatch &EB, ExecutionObserver &O);
+
+//===----------------------------------------------------------------------===//
+// Static-dispatch traits and helpers
+//===----------------------------------------------------------------------===//
+
+/// Compile-time facts about a concrete observer type: which handlers it
+/// provides *itself* (as opposed to inheriting the ExecutionObserver
+/// no-ops). A handler inherited from ExecutionObserver has pointer-to-member
+/// type `void (ExecutionObserver::*)(...)`, an overridden or own handler has
+/// the derived class in that position — which is what lets the static
+/// replay drop whole event kinds an observer ignores. Types that do not
+/// derive from ExecutionObserver (StaticMux, custom sinks) simply provide
+/// the handlers they want; missing ones count as "not handled".
+template <class Obs> struct ObserverTraits {
+  template <class M, class Base>
+  static constexpr bool ownImpl =
+      !std::is_same_v<M, Base>; // Derived-typed pointer => own handler.
+
+  static constexpr bool OwnRunStart = requires {
+    requires ownImpl<decltype(&Obs::onRunStart),
+                     void (ExecutionObserver::*)(const Binary &,
+                                                 const WorkloadInput &)>;
+  };
+  static constexpr bool OwnBlock = requires {
+    requires ownImpl<decltype(&Obs::onBlock),
+                     void (ExecutionObserver::*)(const LoweredBlock &)>;
+  };
+  static constexpr bool OwnMemAccess = requires {
+    requires ownImpl<decltype(&Obs::onMemAccess),
+                     void (ExecutionObserver::*)(uint64_t, bool)>;
+  };
+  static constexpr bool OwnMemRun = requires {
+    requires ownImpl<decltype(&Obs::onMemRun),
+                     void (ExecutionObserver::*)(const uint64_t *, uint32_t,
+                                                 bool)>;
+  };
+  static constexpr bool OwnBranch = requires {
+    requires ownImpl<decltype(&Obs::onBranch),
+                     void (ExecutionObserver::*)(uint64_t, uint64_t, bool,
+                                                 bool, bool)>;
+  };
+  static constexpr bool OwnCall = requires {
+    requires ownImpl<decltype(&Obs::onCall),
+                     void (ExecutionObserver::*)(uint64_t, uint32_t)>;
+  };
+  static constexpr bool OwnReturn = requires {
+    requires ownImpl<decltype(&Obs::onReturn),
+                     void (ExecutionObserver::*)(uint32_t)>;
+  };
+  static constexpr bool OwnRunEnd = requires {
+    requires ownImpl<decltype(&Obs::onRunEnd),
+                     void (ExecutionObserver::*)(uint64_t)>;
+  };
+};
+
+// Statically-bound handler dispatch. The qualified call (O.Obs::handler)
+// suppresses virtual dispatch, so \p Obs must be the most-derived type of
+// the object — which it is for the concrete observers the fast paths name.
+
+template <class Obs>
+inline void dispatchRunStart(Obs &O, const Binary &B,
+                             const WorkloadInput &In) {
+  if constexpr (ObserverTraits<Obs>::OwnRunStart)
+    O.Obs::onRunStart(B, In);
+  else {
+    (void)O;
+    (void)B;
+    (void)In;
+  }
+}
+
+template <class Obs>
+inline void dispatchBlock(Obs &O, const LoweredBlock &Blk) {
+  if constexpr (ObserverTraits<Obs>::OwnBlock)
+    O.Obs::onBlock(Blk);
+  else {
+    (void)O;
+    (void)Blk;
+  }
+}
+
+template <class Obs>
+inline void dispatchMemRun(Obs &O, const uint64_t *Addrs, uint32_t Count,
+                           bool IsStore) {
+  if constexpr (ObserverTraits<Obs>::OwnMemRun)
+    O.Obs::onMemRun(Addrs, Count, IsStore);
+  else if constexpr (ObserverTraits<Obs>::OwnMemAccess)
+    for (uint32_t I = 0; I < Count; ++I)
+      O.Obs::onMemAccess(Addrs[I], IsStore);
+  else {
+    (void)O;
+    (void)Addrs;
+    (void)Count;
+    (void)IsStore;
+  }
+}
+
+template <class Obs>
+inline void dispatchBranch(Obs &O, const BranchRecord &R) {
+  if constexpr (ObserverTraits<Obs>::OwnBranch)
+    O.Obs::onBranch(R.Pc, R.Target, R.Taken, R.Backward, R.Conditional);
+  else {
+    (void)O;
+    (void)R;
+  }
+}
+
+template <class Obs> inline void dispatchCall(Obs &O, const CallRecord &R) {
+  if constexpr (ObserverTraits<Obs>::OwnCall)
+    O.Obs::onCall(R.SiteAddr, R.Callee);
+  else {
+    (void)O;
+    (void)R;
+  }
+}
+
+template <class Obs> inline void dispatchReturn(Obs &O, uint32_t Callee) {
+  if constexpr (ObserverTraits<Obs>::OwnReturn)
+    O.Obs::onReturn(Callee);
+  else {
+    (void)O;
+    (void)Callee;
+  }
+}
+
+template <class Obs> inline void dispatchRunEnd(Obs &O, uint64_t Total) {
+  if constexpr (ObserverTraits<Obs>::OwnRunEnd)
+    O.Obs::onRunEnd(Total);
+  else {
+    (void)O;
+    (void)Total;
+  }
+}
+
+/// Whether \p Obs consumes memory-access events at all. StaticMux exposes
+/// the aggregate over its members as AnyMem; plain observers are probed via
+/// ObserverTraits. When false, the batched engine's BatchSink::WantsMem
+/// optimization applies.
+template <class Obs> constexpr bool wantsMemEvents() {
+  if constexpr (requires { Obs::AnyMem; })
+    return Obs::AnyMem;
+  else
+    return ObserverTraits<Obs>::OwnMemRun || ObserverTraits<Obs>::OwnMemAccess;
+}
+
+/// Per-kind variants of wantsMemEvents: StaticMux exposes aggregates
+/// (AnyBlock/AnyBranch/...), plain observers are probed via traits.
+template <class Obs> constexpr bool wantsBlockEvents() {
+  if constexpr (requires { Obs::AnyBlock; })
+    return Obs::AnyBlock;
+  else
+    return ObserverTraits<Obs>::OwnBlock;
+}
+template <class Obs> constexpr bool wantsBranchEvents() {
+  if constexpr (requires { Obs::AnyBranch; })
+    return Obs::AnyBranch;
+  else
+    return ObserverTraits<Obs>::OwnBranch;
+}
+template <class Obs> constexpr bool wantsCallEvents() {
+  if constexpr (requires { Obs::AnyCall; })
+    return Obs::AnyCall;
+  else
+    return ObserverTraits<Obs>::OwnCall;
+}
+template <class Obs> constexpr bool wantsReturnEvents() {
+  if constexpr (requires { Obs::AnyReturn; })
+    return Obs::AnyReturn;
+  else
+    return ObserverTraits<Obs>::OwnReturn;
+}
+
+/// Bitmask (bit i = EventBatch::Kind i) of the event kinds \p Obs has any
+/// handler for. The batch emitter drops unwanted kinds at append time, so
+/// e.g. a tracker-only run never materializes branch records and a no-op
+/// sink records nothing at all.
+template <class Obs> constexpr uint8_t wantedKindsMask() {
+  auto Bit = [](EventBatch::Kind K) {
+    return static_cast<uint8_t>(1u << static_cast<unsigned>(K));
+  };
+  uint8_t M = 0;
+  if (wantsBlockEvents<Obs>())
+    M |= Bit(EventBatch::Kind::Block);
+  if (wantsMemEvents<Obs>())
+    M |= Bit(EventBatch::Kind::MemRun);
+  if (wantsBranchEvents<Obs>())
+    M |= Bit(EventBatch::Kind::Branch);
+  if (wantsCallEvents<Obs>())
+    M |= Bit(EventBatch::Kind::Call);
+  if (wantsReturnEvents<Obs>())
+    M |= Bit(EventBatch::Kind::Return);
+  return M;
+}
+
+/// Drains \p EB into the concrete observer \p O with zero virtual calls per
+/// event. Event kinds \p Obs has no handler for cost nothing beyond the
+/// tape byte.
+template <class Obs>
+inline void replayEventsStatic(const EventBatch &EB, Obs &O) {
+  const Binary &B = *EB.Bin;
+  size_t NBlk = 0, NMem = 0, NBr = 0, NCall = 0, NRet = 0;
+  for (EventBatch::Kind K : EB.Kinds) {
+    switch (K) {
+    case EventBatch::Kind::Block:
+      dispatchBlock(O, B.Blocks[EB.Blocks[NBlk++]]);
+      break;
+    case EventBatch::Kind::MemRun: {
+      const MemRunRecord &R = EB.MemRuns[NMem++];
+      dispatchMemRun(O, EB.Addrs.data() + R.First, R.Count, R.IsStore);
+      break;
+    }
+    case EventBatch::Kind::Branch:
+      dispatchBranch(O, EB.Branches[NBr++]);
+      break;
+    case EventBatch::Kind::Call:
+      dispatchCall(O, EB.Calls[NCall++]);
+      break;
+    case EventBatch::Kind::Return:
+      dispatchReturn(O, EB.Returns[NRet++]);
+      break;
+    }
+  }
+}
+
+/// A compile-time observer pipeline: forwards every event to each observer
+/// in declaration order with statically-bound calls. The drop-in
+/// devirtualized replacement for an ObserverMux whose member set is known
+/// at the call site. Usable directly as an Interpreter::runFast() sink.
+template <class... Os> class StaticMux {
+public:
+  /// True when any member consumes memory accesses (see wantsMemEvents).
+  static constexpr bool AnyMem =
+      ((ObserverTraits<Os>::OwnMemRun || ObserverTraits<Os>::OwnMemAccess) ||
+       ...);
+  /// How many members consume memory accesses; decides whether mem runs
+  /// can be fanned out run-at-a-time (<= 1) or must interleave per address
+  /// to preserve the ObserverMux ordering contract (>= 2).
+  static constexpr int NumMem =
+      (int{ObserverTraits<Os>::OwnMemRun || ObserverTraits<Os>::OwnMemAccess} +
+       ... + 0);
+  /// Per-kind aggregates, mirrored by wantsBlockEvents() etc., so the
+  /// emitter can drop kinds no member handles.
+  static constexpr bool AnyBlock = (ObserverTraits<Os>::OwnBlock || ...);
+  static constexpr bool AnyBranch = (ObserverTraits<Os>::OwnBranch || ...);
+  static constexpr bool AnyCall = (ObserverTraits<Os>::OwnCall || ...);
+  static constexpr bool AnyReturn = (ObserverTraits<Os>::OwnReturn || ...);
+
+  explicit StaticMux(Os &...O) : Obs(O...) {}
+
+  void onRunStart(const Binary &B, const WorkloadInput &In) {
+    std::apply([&](Os &...O) { (dispatchRunStart(O, B, In), ...); }, Obs);
+  }
+  void onBlock(const LoweredBlock &Blk) {
+    std::apply([&](Os &...O) { (dispatchBlock(O, Blk), ...); }, Obs);
+  }
+  void onMemRun(const uint64_t *Addrs, uint32_t Count, bool IsStore) {
+    if constexpr (NumMem >= 2) {
+      // Two or more members consume memory events: fan out address by
+      // address so every member sees access N before any member sees
+      // access N+1 — the exact legacy ObserverMux interleave. With a
+      // single consumer the orders are indistinguishable, so the bulk
+      // form below keeps the run-level fast path.
+      for (uint32_t I = 0; I < Count; ++I)
+        std::apply(
+            [&](Os &...O) { (dispatchMemRun(O, Addrs + I, 1, IsStore), ...); },
+            Obs);
+    } else {
+      std::apply(
+          [&](Os &...O) { (dispatchMemRun(O, Addrs, Count, IsStore), ...); },
+          Obs);
+    }
+  }
+  void onMemAccess(uint64_t Addr, bool IsStore) {
+    dispatchMemRun(*this, &Addr, 1, IsStore);
+  }
+  void onBranch(uint64_t Pc, uint64_t Target, bool Taken, bool Backward,
+                bool Conditional) {
+    BranchRecord R{Pc, Target, Taken, Backward, Conditional};
+    std::apply([&](Os &...O) { (dispatchBranch(O, R), ...); }, Obs);
+  }
+  void onCall(uint64_t SiteAddr, uint32_t Callee) {
+    CallRecord R{SiteAddr, Callee};
+    std::apply([&](Os &...O) { (dispatchCall(O, R), ...); }, Obs);
+  }
+  void onReturn(uint32_t Callee) {
+    std::apply([&](Os &...O) { (dispatchReturn(O, Callee), ...); }, Obs);
+  }
+  void onRunEnd(uint64_t Total) {
+    std::apply([&](Os &...O) { (dispatchRunEnd(O, Total), ...); }, Obs);
+  }
+
+private:
+  std::tuple<Os &...> Obs;
+};
+
+} // namespace spm
+
+#endif // SPM_VM_EVENTBATCH_H

@@ -7,6 +7,146 @@ using namespace spm;
 // Out-of-line virtual method anchor.
 ExecutionObserver::~ExecutionObserver() = default;
 
+void spm::replayEvents(const EventBatch &EB, ExecutionObserver &O) {
+  const Binary &B = *EB.Bin;
+  size_t NBlk = 0, NMem = 0, NBr = 0, NCall = 0, NRet = 0;
+  for (EventBatch::Kind K : EB.Kinds) {
+    switch (K) {
+    case EventBatch::Kind::Block:
+      O.onBlock(B.Blocks[EB.Blocks[NBlk++]]);
+      break;
+    case EventBatch::Kind::MemRun: {
+      const MemRunRecord &R = EB.MemRuns[NMem++];
+      O.onMemRun(EB.Addrs.data() + R.First, R.Count, R.IsStore);
+      break;
+    }
+    case EventBatch::Kind::Branch: {
+      const BranchRecord &R = EB.Branches[NBr++];
+      O.onBranch(R.Pc, R.Target, R.Taken, R.Backward, R.Conditional);
+      break;
+    }
+    case EventBatch::Kind::Call: {
+      const CallRecord &R = EB.Calls[NCall++];
+      O.onCall(R.SiteAddr, R.Callee);
+      break;
+    }
+    case EventBatch::Kind::Return:
+      O.onReturn(EB.Returns[NRet++]);
+      break;
+    }
+  }
+}
+
+void ExecutionObserver::onEvents(const EventBatch &EB) {
+  replayEvents(EB, *this);
+}
+
+namespace {
+
+/// Emitter policy for the legacy engine: every event becomes an immediate
+/// virtual call, in stream order.
+struct DirectEmitter {
+  ExecutionObserver &Obs;
+
+  static constexpr bool wantsMem() { return true; }
+  void block(const LoweredBlock &Blk) { Obs.onBlock(Blk); }
+  void beginMemRun(const MemAccessSpec &M) { (void)M; }
+  void memAddr(uint64_t Addr, bool IsStore) { Obs.onMemAccess(Addr, IsStore); }
+  void endMemRun(const MemAccessSpec &M) { (void)M; }
+  void branch(uint64_t Pc, uint64_t Target, bool Taken, bool Backward,
+              bool Conditional) {
+    Obs.onBranch(Pc, Target, Taken, Backward, Conditional);
+  }
+  void call(uint64_t SiteAddr, uint32_t Callee) {
+    Obs.onCall(SiteAddr, Callee);
+  }
+  void ret(uint32_t Callee) { Obs.onReturn(Callee); }
+};
+
+/// Emitter policy for the batched engine: events append to a flat EventBatch
+/// that is flushed through the sink at safe points (never inside an open
+/// memory run, so MemRun records always index into their own batch).
+struct BatchEmitter {
+  const BatchSink &Sink;
+  EventBatch EB;
+
+  explicit BatchEmitter(const BatchSink &Sink, const Binary &B) : Sink(Sink) {
+    EB.Bin = &B;
+    EB.reserve(Interpreter::BatchEvents);
+  }
+
+  bool wantsMem() const { return Sink.WantsMem; }
+  bool wants(EventBatch::Kind K) const {
+    return Sink.WantsKinds & (1u << static_cast<unsigned>(K));
+  }
+
+  void flush() {
+    if (EB.empty())
+      return;
+    Sink.Flush(Sink.Ctx, EB);
+    EB.clear();
+  }
+
+  void maybeFlush() {
+    if (EB.size() >= Interpreter::BatchEvents)
+      flush();
+  }
+
+  // Each handler below is a safe flush point (no memory run is open), so
+  // the flush check runs even when the event itself is dropped by the
+  // wanted-kinds mask — otherwise a sink listening only to memory runs
+  // would never flush mid-run.
+  void block(const LoweredBlock &Blk) {
+    maybeFlush();
+    if (!wants(EventBatch::Kind::Block))
+      return;
+    EB.Kinds.push_back(EventBatch::Kind::Block);
+    EB.Blocks.push_back(Blk.GlobalId);
+  }
+  void beginMemRun(const MemAccessSpec &M) {
+    (void)M;
+    PendingFirst = static_cast<uint32_t>(EB.Addrs.size());
+  }
+  void memAddr(uint64_t Addr, bool IsStore) {
+    (void)IsStore;
+    EB.Addrs.push_back(Addr);
+  }
+  void endMemRun(const MemAccessSpec &M) {
+    uint32_t Count = static_cast<uint32_t>(EB.Addrs.size()) - PendingFirst;
+    if (Count == 0)
+      return;
+    EB.Kinds.push_back(EventBatch::Kind::MemRun);
+    EB.MemRuns.push_back({PendingFirst, Count, M.IsStore});
+  }
+  void branch(uint64_t Pc, uint64_t Target, bool Taken, bool Backward,
+              bool Conditional) {
+    maybeFlush();
+    if (!wants(EventBatch::Kind::Branch))
+      return;
+    EB.Kinds.push_back(EventBatch::Kind::Branch);
+    EB.Branches.push_back({Pc, Target, Taken, Backward, Conditional});
+  }
+  void call(uint64_t SiteAddr, uint32_t Callee) {
+    maybeFlush();
+    if (!wants(EventBatch::Kind::Call))
+      return;
+    EB.Kinds.push_back(EventBatch::Kind::Call);
+    EB.Calls.push_back({SiteAddr, Callee});
+  }
+  void ret(uint32_t Callee) {
+    maybeFlush();
+    if (!wants(EventBatch::Kind::Return))
+      return;
+    EB.Kinds.push_back(EventBatch::Kind::Return);
+    EB.Returns.push_back(Callee);
+  }
+
+private:
+  uint32_t PendingFirst = 0;
+};
+
+} // namespace
+
 Interpreter::Interpreter(const Binary &B, const WorkloadInput &In)
     : B(B), In(In), Rand(In.seed()) {
   RegionSizes.reserve(B.Regions.size());
@@ -21,8 +161,15 @@ Interpreter::Interpreter(const Binary &B, const WorkloadInput &In)
   }
   SeqPos.assign(B.NumMemSites, 0);
   ChaseState.assign(B.NumMemSites, 0);
-  for (uint32_t I = 0; I < B.NumMemSites; ++I)
+  RandState.assign(B.NumMemSites, 0);
+  for (uint32_t I = 0; I < B.NumMemSites; ++I) {
     ChaseState[I] = In.seed() * 0x9e3779b97f4a7c15ULL + I;
+    // Counter-based stream per site: random addresses are drawn by mixing
+    // successive counter values, never from the shared control-flow RNG.
+    // Decoupling keeps the structural path independent of whether memory
+    // is modeled at all, and makes skipping N accesses a single addition.
+    RandState[I] = splitMix64(In.seed() ^ (0x9e3779b97f4a7c15ULL * (I + 1)));
+  }
   SchedCursor.assign(B.NumTripSites, 0);
   CondCounter.assign(B.NumCondSites, 0);
   RRCursor.assign(B.NumRRSites, 0);
@@ -32,185 +179,40 @@ RunResult Interpreter::run(ExecutionObserver &Obs, uint64_t MaxInstrsIn) {
   MaxInstrs = MaxInstrsIn;
   Result = RunResult();
   Obs.onRunStart(B, In);
-  execFunction(/*FuncId=*/0, /*Depth=*/0, Obs);
+  DirectEmitter E{Obs};
+  execFunctionT(/*FuncId=*/0, /*Depth=*/0, E);
   Obs.onRunEnd(Result.TotalInstrs);
   return Result;
 }
 
-bool Interpreter::execBlock(const LoweredBlock &Blk, ExecutionObserver &Obs) {
-  Obs.onBlock(Blk);
-  Result.TotalInstrs += Blk.NumInstrs;
-  ++Result.TotalBlocks;
-  for (size_t I = 0; I < Blk.MemOps.size(); ++I) {
-    const MemAccessSpec &M = Blk.MemOps[I];
-    uint32_t Site = Blk.FirstMemSite + static_cast<uint32_t>(I);
-    for (uint32_t C = 0; C < M.Count; ++C) {
-      Obs.onMemAccess(genAddress(M, Site), M.IsStore);
-      ++Result.TotalMemAccesses;
-    }
-  }
-  if (Result.TotalInstrs >= MaxInstrs) {
-    Result.HitInstrLimit = true;
-    return false;
-  }
-  return true;
+RunResult Interpreter::runBatchedSink(const BatchSink &Sink,
+                                      uint64_t MaxInstrsIn) {
+  MaxInstrs = MaxInstrsIn;
+  Result = RunResult();
+  Sink.RunStart(Sink.Ctx, B, In);
+  BatchEmitter E(Sink, B);
+  execFunctionT(/*FuncId=*/0, /*Depth=*/0, E);
+  E.flush();
+  Sink.RunEnd(Sink.Ctx, Result.TotalInstrs);
+  return Result;
 }
 
-uint64_t Interpreter::genAddress(const MemAccessSpec &M, uint32_t Site) {
-  uint64_t Base = regionBase(M.RegionIdx);
-  uint64_t Size = RegionSizes[M.RegionIdx];
-  // Active working set: the leading fraction of the region this site uses.
-  uint64_t WS = Size * M.WorkingSetFrac256 / 256;
-  if (WS < 64)
-    WS = 64;
-
-  switch (M.Pat) {
-  case MemAccessSpec::Pattern::Sequential: {
-    uint64_t Addr = Base + (SeqPos[Site] % WS);
-    SeqPos[Site] += M.Stride;
-    return Addr;
-  }
-  case MemAccessSpec::Pattern::Random:
-    return Base + (Rand.nextBelow(WS / 8) * 8);
-  case MemAccessSpec::Pattern::Point:
-    return Base + (M.Offset % Size);
-  case MemAccessSpec::Pattern::Chase: {
-    // Dependent random walk with a per-site LCG so the chain is
-    // reproducible and independent of the shared random stream.
-    uint64_t S = ChaseState[Site];
-    S = S * 6364136223846793005ULL + 1442695040888963407ULL;
-    ChaseState[Site] = S;
-    return Base + ((S >> 11) % (WS / 8)) * 8;
-  }
-  }
-  assert(false && "unknown memory pattern");
-  return Base;
+RunResult Interpreter::runBatched(ExecutionObserver &Obs,
+                                  uint64_t MaxInstrsIn) {
+  BatchSink S;
+  S.Ctx = &Obs;
+  S.RunStart = [](void *Ctx, const Binary &Bin, const WorkloadInput &I) {
+    static_cast<ExecutionObserver *>(Ctx)->onRunStart(Bin, I);
+  };
+  S.Flush = [](void *Ctx, const EventBatch &EB) {
+    static_cast<ExecutionObserver *>(Ctx)->onEvents(EB);
+  };
+  S.RunEnd = [](void *Ctx, uint64_t Total) {
+    static_cast<ExecutionObserver *>(Ctx)->onRunEnd(Total);
+  };
+  return runBatchedSink(S, MaxInstrsIn);
 }
 
-uint64_t Interpreter::evalTrip(const TripCountSpec &T, uint32_t Site) {
-  switch (T.K) {
-  case TripCountSpec::Kind::Constant:
-    return T.Value;
-  case TripCountSpec::Kind::Uniform:
-    return Rand.nextInRange(T.Lo, T.Hi);
-  case TripCountSpec::Kind::Param:
-    return static_cast<uint64_t>(In.get(T.ParamName)) * T.Num / T.Den;
-  case TripCountSpec::Kind::ParamUniform: {
-    auto P = static_cast<uint64_t>(In.get(T.ParamName));
-    uint64_t Lo = P * T.LoNum / T.Den;
-    uint64_t Hi = P * T.HiNum / T.Den;
-    if (Lo > Hi)
-      Lo = Hi;
-    return Rand.nextInRange(Lo, Hi);
-  }
-  case TripCountSpec::Kind::Schedule:
-    return T.Values[SchedCursor[Site]++ % T.Values.size()];
-  }
-  assert(false && "unknown trip count kind");
-  return 1;
-}
-
-bool Interpreter::evalCond(const CondSpec &C, uint32_t Site) {
-  switch (C.K) {
-  case CondSpec::Kind::Bernoulli:
-    return Rand.nextBool(C.P);
-  case CondSpec::Kind::Periodic:
-    return (CondCounter[Site]++ % C.Period) < C.TrueCount;
-  }
-  assert(false && "unknown condition kind");
-  return false;
-}
-
-bool Interpreter::execFunction(uint32_t FuncId, unsigned Depth,
-                               ExecutionObserver &Obs) {
-  const LoweredFunction &F = B.func(FuncId);
-  if (!execBlock(B.block(F.EntryBlock), Obs))
-    return false;
-  if (!execNodes(F.Body, Depth, Obs))
-    return false;
-  return execBlock(B.block(F.ExitBlock), Obs);
-}
-
-bool Interpreter::execNodes(const std::vector<ExecNode> &Nodes,
-                            unsigned Depth, ExecutionObserver &Obs) {
-  for (const ExecNode &N : Nodes)
-    if (!execNode(N, Depth, Obs))
-      return false;
-  return true;
-}
-
-bool Interpreter::execNode(const ExecNode &N, unsigned Depth,
-                           ExecutionObserver &Obs) {
-  switch (N.K) {
-  case ExecNode::Kind::Code:
-    return execBlock(B.block(N.Block), Obs);
-
-  case ExecNode::Kind::Loop: {
-    uint64_t Trip = evalTrip(N.Trip, N.TripSite);
-    const LoweredBlock &Header = B.block(N.Block);
-    const LoweredBlock &Latch = B.block(N.LatchBlock);
-    for (uint64_t I = 0; I < Trip; ++I) {
-      if (!execBlock(Header, Obs))
-        return false;
-      if (!execNodes(N.Children, Depth, Obs))
-        return false;
-      if (!execBlock(Latch, Obs))
-        return false;
-      bool Taken = I + 1 < Trip;
-      Obs.onBranch(Latch.termAddr(), Header.Addr, Taken, /*Backward=*/true,
-                   /*Conditional=*/true);
-    }
-    return true;
-  }
-
-  case ExecNode::Kind::If: {
-    const LoweredBlock &Cond = B.block(N.Block);
-    if (!execBlock(Cond, Obs))
-      return false;
-    bool TakeThen = evalCond(N.Cond, N.CondSite);
-    // The lowered branch skips the then-part when the condition is false.
-    Obs.onBranch(Cond.termAddr(), Cond.Term.TargetAddr, /*Taken=*/!TakeThen,
-                 /*Backward=*/false, /*Conditional=*/true);
-    return execNodes(TakeThen ? N.Children : N.ElseChildren, Depth, Obs);
-  }
-
-  case ExecNode::Kind::Call: {
-    const LoweredBlock &Site = B.block(N.Block);
-    if (!execBlock(Site, Obs))
-      return false;
-    if (N.CallProb < 1.0 && !Rand.nextBool(N.CallProb))
-      return true;
-    if (Depth + 1 >= MaxCallDepth)
-      return true; // Guarded-recursion depth cap; see header comment.
-
-    uint32_t Callee;
-    if (N.Candidates.size() == 1) {
-      Callee = N.Candidates[0].Callee;
-    } else if (N.RoundRobin) {
-      Callee = N.Candidates[RRCursor[N.RRSite]++ % N.Candidates.size()]
-                   .Callee;
-    } else {
-      uint64_t Total = 0;
-      for (const auto &Cand : N.Candidates)
-        Total += Cand.Weight;
-      uint64_t Pick = Rand.nextBelow(Total);
-      Callee = N.Candidates.back().Callee;
-      for (const auto &Cand : N.Candidates) {
-        if (Pick < Cand.Weight) {
-          Callee = Cand.Callee;
-          break;
-        }
-        Pick -= Cand.Weight;
-      }
-    }
-
-    Obs.onCall(Site.termAddr(), Callee);
-    if (!execFunction(Callee, Depth + 1, Obs))
-      return false;
-    Obs.onReturn(Callee);
-    return true;
-  }
-  }
-  assert(false && "unknown exec node kind");
-  return false;
-}
+// The exec tree and the address/trip/cond evaluators live in Interpreter.h
+// so runFast instantiations inline them fully; the emitters above only need
+// the declarations visible here.

@@ -23,6 +23,7 @@
 #include "ir/Binary.h"
 #include "ir/Input.h"
 #include "support/Random.h"
+#include "vm/EventBatch.h"
 #include "vm/Observer.h"
 
 #include <cstdint>
@@ -39,6 +40,42 @@ struct RunResult {
   bool HitInstrLimit = false;
 };
 
+/// Emitter policy for the devirtualized direct path (runFast): every event
+/// dispatches statically into the concrete observer, unbuffered. A block's
+/// memory accesses are staged in a small reused buffer so observers with an
+/// onMemRun handler still receive them as one bulk record.
+template <class ObsT> struct StaticEmitter {
+  ObsT &Obs;
+  std::vector<uint64_t> RunBuf;
+
+  explicit StaticEmitter(ObsT &Obs) : Obs(Obs) {}
+
+  static constexpr bool wantsMem() { return wantsMemEvents<ObsT>(); }
+  void block(const LoweredBlock &Blk) { dispatchBlock(Obs, Blk); }
+  void beginMemRun(const MemAccessSpec &M) {
+    (void)M;
+    RunBuf.clear();
+  }
+  void memAddr(uint64_t Addr, bool IsStore) {
+    (void)IsStore;
+    RunBuf.push_back(Addr);
+  }
+  void endMemRun(const MemAccessSpec &M) {
+    if (!RunBuf.empty())
+      dispatchMemRun(Obs, RunBuf.data(),
+                     static_cast<uint32_t>(RunBuf.size()), M.IsStore);
+  }
+  void branch(uint64_t Pc, uint64_t Target, bool Taken, bool Backward,
+              bool Conditional) {
+    dispatchBranch(Obs, BranchRecord{Pc, Target, Taken, Backward,
+                                     Conditional});
+  }
+  void call(uint64_t SiteAddr, uint32_t Callee) {
+    dispatchCall(Obs, CallRecord{SiteAddr, Callee});
+  }
+  void ret(uint32_t Callee) { dispatchReturn(Obs, Callee); }
+};
+
 /// The interpreter. Construct once per (binary, input) pair and call run().
 class Interpreter {
 public:
@@ -47,11 +84,47 @@ public:
   /// on in tests).
   static constexpr unsigned MaxCallDepth = 256;
 
+  /// Events buffered between flushes on the batched paths. Large enough to
+  /// amortize the per-flush indirect call, small enough to stay cache-
+  /// resident. A batch may exceed this by one block's worth of events (the
+  /// flush check sits at safe points only).
+  static constexpr size_t BatchEvents = 4096;
+
   Interpreter(const Binary &B, const WorkloadInput &In);
 
   /// Runs to completion or until \p MaxInstrs retire. Returns the summary.
+  /// Legacy engine: one virtual call per event, in stream order.
   RunResult run(ExecutionObserver &Obs,
                 uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max());
+
+  /// Batched engine, dynamic dispatch: fills an EventBatch and flushes it
+  /// through the virtual onEvents hook every ~BatchEvents events. With the
+  /// default onEvents the observer sees a per-event stream identical to
+  /// run(), including ObserverMux interleaving.
+  RunResult
+  runBatched(ExecutionObserver &Obs,
+             uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max());
+
+  /// Devirtualized engine: the exec tree emits every event directly into
+  /// the concrete observer \p Obs with zero virtual calls and zero
+  /// buffering — handler calls bind statically and handlers \p Obs never
+  /// overrides vanish at compile time (memory events are then not even
+  /// materialized; see skipAccesses). \p Obs may be any type with (a
+  /// subset of) the ExecutionObserver handler signatures — a concrete
+  /// observer, a StaticMux, or a plain struct; ObsT must be its
+  /// most-derived type.
+  template <class ObsT>
+  RunResult runFast(ObsT &Obs,
+                    uint64_t MaxInstrsIn =
+                        std::numeric_limits<uint64_t>::max()) {
+    MaxInstrs = MaxInstrsIn;
+    Result = RunResult();
+    dispatchRunStart(Obs, B, In);
+    StaticEmitter<ObsT> E{Obs};
+    execFunctionT(/*FuncId=*/0, /*Depth=*/0, E);
+    dispatchRunEnd(Obs, Result.TotalInstrs);
+    return Result;
+  }
 
   /// Resolved byte size of region \p Idx under the constructor's input.
   uint64_t regionSize(uint32_t Idx) const {
@@ -70,14 +143,31 @@ private:
   static constexpr uint64_t DataBase = 1ull << 32;
   static constexpr uint64_t RegionSpacing = 1ull << 30;
 
-  bool execFunction(uint32_t FuncId, unsigned Depth, ExecutionObserver &Obs);
-  bool execNodes(const std::vector<ExecNode> &Nodes, unsigned Depth,
-                 ExecutionObserver &Obs);
-  bool execNode(const ExecNode &N, unsigned Depth, ExecutionObserver &Obs);
+  /// Runs the batched engine against a type-erased sink (one indirect call
+  /// per flush). Both runBatched and runFast funnel through here.
+  RunResult runBatchedSink(const BatchSink &Sink, uint64_t MaxInstrs);
+
+  // The single exec tree, parameterized over an event-emitter policy so the
+  // engine variants cannot drift apart. Emit is DirectEmitter (immediate
+  // virtual calls) or BatchEmitter (EventBatch append + flush), both in
+  // Interpreter.cpp, or StaticEmitter above. Defined after the class so
+  // every instantiation inlines fully.
+  template <class Emit>
+  bool execFunctionT(uint32_t FuncId, unsigned Depth, Emit &E);
+  template <class Emit>
+  bool execNodesT(const std::vector<ExecNode> &Nodes, unsigned Depth,
+                  Emit &E);
+  template <class Emit> bool execNodeT(const ExecNode &N, unsigned Depth, Emit &E);
   /// Emits the block event and its memory accesses; returns false when the
   /// instruction budget is exhausted.
-  bool execBlock(const LoweredBlock &Blk, ExecutionObserver &Obs);
+  template <class Emit> bool execBlockT(const LoweredBlock &Blk, Emit &E);
   uint64_t genAddress(const MemAccessSpec &M, uint32_t Site);
+  /// Advances all address-generation state (per-site cursors and counters)
+  /// exactly as Count genAddress calls would, without materializing the
+  /// addresses. Used when the sink provably ignores memory events. Address
+  /// generation never touches the shared control-flow RNG, so skipping is
+  /// invisible to the rest of the stream by construction.
+  void skipAccesses(const MemAccessSpec &M, uint32_t Site);
   uint64_t evalTrip(const TripCountSpec &T, uint32_t Site);
   bool evalCond(const CondSpec &C, uint32_t Site);
 
@@ -90,10 +180,244 @@ private:
   std::vector<uint64_t> RegionSizes;
   std::vector<uint64_t> SeqPos;       ///< Per mem site sequential cursor.
   std::vector<uint64_t> ChaseState;   ///< Per mem site chase LCG state.
+  std::vector<uint64_t> RandState;    ///< Per mem site SplitMix counter.
   std::vector<uint64_t> SchedCursor;  ///< Per trip site schedule cursor.
   std::vector<uint64_t> CondCounter;  ///< Per cond site periodic counter.
   std::vector<uint64_t> RRCursor;     ///< Per call site round-robin cursor.
 };
+
+//===----------------------------------------------------------------------===//
+// Exec tree (shared by all engines) — header-inline so every emitter
+// instantiation, including runFast's per-observer ones, compiles into its
+// caller with full inlining of the evaluators below.
+//===----------------------------------------------------------------------===//
+
+inline uint64_t Interpreter::genAddress(const MemAccessSpec &M,
+                                        uint32_t Site) {
+  uint64_t Base = regionBase(M.RegionIdx);
+  uint64_t Size = RegionSizes[M.RegionIdx];
+  // Active working set: the leading fraction of the region this site uses.
+  uint64_t WS = Size * M.WorkingSetFrac256 / 256;
+  if (WS < 64)
+    WS = 64;
+
+  switch (M.Pat) {
+  case MemAccessSpec::Pattern::Sequential: {
+    uint64_t Addr = Base + (SeqPos[Site] % WS);
+    SeqPos[Site] += M.Stride;
+    return Addr;
+  }
+  case MemAccessSpec::Pattern::Random: {
+    uint64_t Z = splitMix64(RandState[Site] += 0x9e3779b97f4a7c15ULL);
+    // Map to [0, WS/8) by fixed-point scaling — no division on the hot
+    // path, negligible bias for word counts far below 2^64.
+    uint64_t Slot = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Z) * (WS / 8)) >> 64);
+    return Base + Slot * 8;
+  }
+  case MemAccessSpec::Pattern::Point:
+    return Base + (M.Offset % Size);
+  case MemAccessSpec::Pattern::Chase: {
+    // Dependent random walk with a per-site LCG so the chain is
+    // reproducible and independent of the shared random stream.
+    uint64_t S = ChaseState[Site];
+    S = S * 6364136223846793005ULL + 1442695040888963407ULL;
+    ChaseState[Site] = S;
+    return Base + ((S >> 11) % (WS / 8)) * 8;
+  }
+  }
+  assert(false && "unknown memory pattern");
+  return Base;
+}
+
+inline void Interpreter::skipAccesses(const MemAccessSpec &M,
+                                      uint32_t Site) {
+  switch (M.Pat) {
+  case MemAccessSpec::Pattern::Sequential:
+    SeqPos[Site] += static_cast<uint64_t>(M.Stride) * M.Count;
+    return;
+  case MemAccessSpec::Pattern::Point:
+    return;
+  case MemAccessSpec::Pattern::Chase: {
+    uint64_t S = ChaseState[Site];
+    for (uint32_t C = 0; C < M.Count; ++C)
+      S = S * 6364136223846793005ULL + 1442695040888963407ULL;
+    ChaseState[Site] = S;
+    return;
+  }
+  case MemAccessSpec::Pattern::Random:
+    // The counter-based stream seeks in O(1): advance the counter exactly
+    // as M.Count draws would.
+    RandState[Site] += 0x9e3779b97f4a7c15ULL * M.Count;
+    return;
+  }
+  assert(false && "unknown memory pattern");
+}
+
+inline uint64_t Interpreter::evalTrip(const TripCountSpec &T,
+                                      uint32_t Site) {
+  switch (T.K) {
+  case TripCountSpec::Kind::Constant:
+    return T.Value;
+  case TripCountSpec::Kind::Uniform:
+    return Rand.nextInRange(T.Lo, T.Hi);
+  case TripCountSpec::Kind::Param:
+    return static_cast<uint64_t>(In.get(T.ParamName)) * T.Num / T.Den;
+  case TripCountSpec::Kind::ParamUniform: {
+    auto P = static_cast<uint64_t>(In.get(T.ParamName));
+    uint64_t Lo = P * T.LoNum / T.Den;
+    uint64_t Hi = P * T.HiNum / T.Den;
+    if (Lo > Hi)
+      Lo = Hi;
+    return Rand.nextInRange(Lo, Hi);
+  }
+  case TripCountSpec::Kind::Schedule:
+    return T.Values[SchedCursor[Site]++ % T.Values.size()];
+  }
+  assert(false && "unknown trip count kind");
+  return 1;
+}
+
+inline bool Interpreter::evalCond(const CondSpec &C, uint32_t Site) {
+  switch (C.K) {
+  case CondSpec::Kind::Bernoulli:
+    return Rand.nextBool(C.P);
+  case CondSpec::Kind::Periodic:
+    return (CondCounter[Site]++ % C.Period) < C.TrueCount;
+  }
+  assert(false && "unknown condition kind");
+  return false;
+}
+
+template <class Emit>
+bool Interpreter::execBlockT(const LoweredBlock &Blk, Emit &E) {
+  E.block(Blk);
+  Result.TotalInstrs += Blk.NumInstrs;
+  ++Result.TotalBlocks;
+  if (E.wantsMem()) {
+    for (size_t I = 0; I < Blk.MemOps.size(); ++I) {
+      const MemAccessSpec &M = Blk.MemOps[I];
+      uint32_t Site = Blk.FirstMemSite + static_cast<uint32_t>(I);
+      E.beginMemRun(M);
+      for (uint32_t C = 0; C < M.Count; ++C)
+        E.memAddr(genAddress(M, Site), M.IsStore);
+      E.endMemRun(M);
+      Result.TotalMemAccesses += M.Count;
+    }
+  } else {
+    for (size_t I = 0; I < Blk.MemOps.size(); ++I) {
+      const MemAccessSpec &M = Blk.MemOps[I];
+      skipAccesses(M, Blk.FirstMemSite + static_cast<uint32_t>(I));
+      Result.TotalMemAccesses += M.Count;
+    }
+  }
+  if (Result.TotalInstrs >= MaxInstrs) {
+    Result.HitInstrLimit = true;
+    return false;
+  }
+  return true;
+}
+
+template <class Emit>
+bool Interpreter::execFunctionT(uint32_t FuncId, unsigned Depth, Emit &E) {
+  const LoweredFunction &F = B.func(FuncId);
+  if (!execBlockT(B.block(F.EntryBlock), E))
+    return false;
+  if (!execNodesT(F.Body, Depth, E))
+    return false;
+  return execBlockT(B.block(F.ExitBlock), E);
+}
+
+template <class Emit>
+bool Interpreter::execNodesT(const std::vector<ExecNode> &Nodes,
+                             unsigned Depth, Emit &E) {
+  for (const ExecNode &N : Nodes)
+    if (!execNodeT(N, Depth, E))
+      return false;
+  return true;
+}
+
+template <class Emit>
+bool Interpreter::execNodeT(const ExecNode &N, unsigned Depth, Emit &E) {
+  switch (N.K) {
+  case ExecNode::Kind::Code:
+    return execBlockT(B.block(N.Block), E);
+
+  case ExecNode::Kind::Loop: {
+    uint64_t Trip = evalTrip(N.Trip, N.TripSite);
+    const LoweredBlock &Header = B.block(N.Block);
+    const LoweredBlock &Latch = B.block(N.LatchBlock);
+    for (uint64_t I = 0; I < Trip; ++I) {
+      if (!execBlockT(Header, E))
+        return false;
+      if (!execNodesT(N.Children, Depth, E))
+        return false;
+      if (!execBlockT(Latch, E))
+        return false;
+      bool Taken = I + 1 < Trip;
+      E.branch(Latch.termAddr(), Header.Addr, Taken, /*Backward=*/true,
+               /*Conditional=*/true);
+    }
+    return true;
+  }
+
+  case ExecNode::Kind::If: {
+    const LoweredBlock &Cond = B.block(N.Block);
+    if (!execBlockT(Cond, E))
+      return false;
+    bool TakeThen = evalCond(N.Cond, N.CondSite);
+    // The lowered branch skips the then-part when the condition is false.
+    E.branch(Cond.termAddr(), Cond.Term.TargetAddr, /*Taken=*/!TakeThen,
+             /*Backward=*/false, /*Conditional=*/true);
+    return execNodesT(TakeThen ? N.Children : N.ElseChildren, Depth, E);
+  }
+
+  case ExecNode::Kind::Call: {
+    const LoweredBlock &Site = B.block(N.Block);
+    if (!execBlockT(Site, E))
+      return false;
+    if (N.CallProb < 1.0 && !Rand.nextBool(N.CallProb))
+      return true;
+    if (Depth + 1 >= MaxCallDepth)
+      return true; // Guarded-recursion depth cap; see header comment.
+
+    uint32_t Callee;
+    if (N.Candidates.size() == 1) {
+      Callee = N.Candidates[0].Callee;
+    } else if (N.RoundRobin) {
+      Callee = N.Candidates[RRCursor[N.RRSite]++ % N.Candidates.size()]
+                   .Callee;
+    } else {
+      uint64_t Total = 0;
+      for (const auto &Cand : N.Candidates)
+        Total += Cand.Weight;
+      if (Total == 0) {
+        // All weights zero: the weighted draw is undefined, fall back to a
+        // uniform pick over the candidates.
+        Callee = N.Candidates[Rand.nextBelow(N.Candidates.size())].Callee;
+      } else {
+        uint64_t Pick = Rand.nextBelow(Total);
+        Callee = N.Candidates.back().Callee;
+        for (const auto &Cand : N.Candidates) {
+          if (Pick < Cand.Weight) {
+            Callee = Cand.Callee;
+            break;
+          }
+          Pick -= Cand.Weight;
+        }
+      }
+    }
+
+    E.call(Site.termAddr(), Callee);
+    if (!execFunctionT(Callee, Depth + 1, E))
+      return false;
+    E.ret(Callee);
+    return true;
+  }
+  }
+  assert(false && "unknown exec node kind");
+  return false;
+}
 
 } // namespace spm
 

@@ -26,6 +26,8 @@
 
 namespace spm {
 
+class EventBatch;
+
 /// Receives instrumentation events from the interpreter. Handlers default
 /// to no-ops so observers override only what they need.
 class ExecutionObserver {
@@ -46,6 +48,15 @@ public:
   virtual void onMemAccess(uint64_t Addr, bool IsStore) {
     (void)Addr;
     (void)IsStore;
+  }
+
+  /// A run of \p Count accesses (one lowered MemAccessSpec's worth) with the
+  /// given direction. The bulk form of onMemAccess used by the batched
+  /// engine; the default unrolls to per-access events so observers that only
+  /// implement onMemAccess see an unchanged stream.
+  virtual void onMemRun(const uint64_t *Addrs, uint32_t Count, bool IsStore) {
+    for (uint32_t I = 0; I < Count; ++I)
+      onMemAccess(Addrs[I], IsStore);
   }
 
   /// A branch at \p Pc targeting \p Target executed. \p Backward is true
@@ -70,11 +81,26 @@ public:
 
   /// Execution finished after \p TotalInstrs retired instructions.
   virtual void onRunEnd(uint64_t TotalInstrs) { (void)TotalInstrs; }
+
+  /// A flushed chunk of the batched event stream (Interpreter::runBatched).
+  /// The default replays the batch through the per-event virtual handlers in
+  /// exact stream order, so batching is transparent to existing observers —
+  /// including ObserverMux, whose per-event fan-out keeps the documented
+  /// observer-ordering guarantee intact under batching. Override only to
+  /// consume whole batches natively.
+  virtual void onEvents(const EventBatch &EB);
 };
 
 /// Broadcasts each event to a list of observers in registration order.
 /// Order matters: e.g. the call-loop tracker must see a block before the
 /// interval builder accounts it, so marker-driven cuts land between them.
+///
+/// Deliberately does NOT override onMemRun or onEvents: the inherited
+/// defaults decompose bulk records back into per-event virtual calls, so
+/// each event is fanned out to all observers before the next one is
+/// delivered — identical interleaving to the unbatched engine. Overriding
+/// either to forward whole runs/batches per observer would reorder events
+/// across observers and break the guarantee above.
 class ObserverMux : public ExecutionObserver {
 public:
   ObserverMux() = default;

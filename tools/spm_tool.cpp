@@ -31,6 +31,8 @@
 #include "support/Table.h"
 #include "workloads/Workloads.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,9 +56,13 @@ int usage() {
       "                  [--procs-only] [-o <file>]\n"
       "  spm_tool report <workload> <marker-file> [--input train|ref]\n"
       "  spm_tool bench [<workload>...] [--jobs N] [--ilower N] [--limit N]\n"
+      "  spm_tool bench --profile [<workload>...] [--reps N] [-o <json>]\n"
       "  spm_tool dot <workload> [--input train|ref]\n"
       "common: --jobs N parallelizes independent runs (0 = all cores;\n"
-      "        SPM_JOBS is the environment fallback)\n");
+      "        SPM_JOBS is the environment fallback)\n"
+      "bench --profile measures per-stage event throughput of the legacy\n"
+      "per-event engine vs the batched engine; JSON lands in\n"
+      "BENCH_engine.json unless -o overrides it\n");
   return 2;
 }
 
@@ -100,6 +106,8 @@ struct CommonArgs {
   std::string OutPath;
   std::vector<std::string> Positional;
   SelectorConfig Config;
+  bool Profile = false;
+  int Reps = 3;
   bool Bad = false;
 };
 
@@ -119,6 +127,10 @@ CommonArgs parseArgs(int Argc, char **Argv, int Start) {
       A.Config.MaxLimit = std::strtoull(Argv[++I], nullptr, 10);
     } else if (Arg == "--procs-only") {
       A.Config.ProceduresOnly = true;
+    } else if (Arg == "--profile") {
+      A.Profile = true;
+    } else if (Arg == "--reps" && I + 1 < Argc) {
+      A.Reps = std::atoi(Argv[++I]);
     } else if (Arg == "--jobs" && I + 1 < Argc) {
       setParallelJobs(std::atoi(Argv[++I]));
     } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
@@ -240,7 +252,11 @@ int cmdReport(const CommonArgs &A) {
 /// train/ref profiling runs) are independent, so they spread across the
 /// --jobs worker pool; the table is printed in argument order and is
 /// byte-identical at every job count.
+int cmdBenchProfile(const CommonArgs &A);
+
 int cmdBench(const CommonArgs &A) {
+  if (A.Profile)
+    return cmdBenchProfile(A);
   std::vector<std::string> Names =
       A.Positional.empty() ? WorkloadRegistry::allNames() : A.Positional;
   for (const std::string &N : Names)
@@ -296,6 +312,210 @@ int cmdBench(const CommonArgs &A) {
         .percentCell(Row.Cov)
         .percentCell(Row.Whole);
   std::printf("%s", T.str().c_str());
+  return 0;
+}
+
+/// Sink with no handlers: the devirtualized engine at its emptiest —
+/// measures raw interpreter fill/replay cost.
+struct NullSink {};
+
+/// Counts every event in the stream (the events/sec denominator).
+struct EventCounter : ExecutionObserver {
+  uint64_t Events = 0;
+  void onBlock(const LoweredBlock &) override { ++Events; }
+  void onMemAccess(uint64_t, bool) override { ++Events; }
+  void onBranch(uint64_t, uint64_t, bool, bool, bool) override { ++Events; }
+  void onCall(uint64_t, uint32_t) override { ++Events; }
+  void onReturn(uint32_t) override { ++Events; }
+};
+
+/// `spm_tool bench --profile`: per-stage event throughput of the legacy
+/// per-event engine vs the batched/devirtualized engine, on identical
+/// streams. Times are best-of---reps, summed over workloads; events/sec
+/// divides the total event count (blocks + memory accesses + branches +
+/// calls + returns) by stage time. JSON goes to BENCH_engine.json (or -o).
+int cmdBenchProfile(const CommonArgs &A) {
+  std::vector<std::string> Names =
+      A.Positional.empty() ? WorkloadRegistry::allNames() : A.Positional;
+  for (const std::string &N : Names)
+    if (!knownWorkload(N)) {
+      std::fprintf(stderr, "bench: unknown workload %s\n", N.c_str());
+      return 1;
+    }
+
+  constexpr uint64_t Cap = 8ull * 1000 * 1000; // Instructions per timed run.
+  const int Reps = A.Reps > 0 ? A.Reps : 3;
+  constexpr int NumStages = 5;
+  const char *StageNames[NumStages] = {"interp", "interp+tracker",
+                                       "tracker+markers+intervals", "bbv",
+                                       "cache"};
+  double LegacyS[NumStages] = {}, EngineS[NumStages] = {};
+  uint64_t TotalEvents = 0;
+
+  auto timeBest = [&](auto &&Fn) {
+    double Best = 1e300;
+    for (int R = 0; R < Reps; ++R) {
+      auto T0 = std::chrono::steady_clock::now();
+      Fn();
+      auto T1 = std::chrono::steady_clock::now();
+      Best = std::min(Best, std::chrono::duration<double>(T1 - T0).count());
+    }
+    return Best;
+  };
+
+  for (const std::string &Name : Names) {
+    Workload W = WorkloadRegistry::create(Name);
+    auto Bin = lower(*W.Program, LoweringOptions::O2());
+    LoopIndex Loops = LoopIndex::build(*Bin);
+    const WorkloadInput &In = A.UseRef ? W.Ref : W.Train;
+
+    // Count the stream once (doubles as warm-up).
+    EventCounter EC;
+    {
+      Interpreter I(*Bin, In);
+      I.run(EC, Cap);
+    }
+    TotalEvents += EC.Events;
+
+    // Markers for the full-pipeline stage.
+    auto G = buildCallLoopGraph(*Bin, Loops, In, Cap);
+    SelectionResult Sel = selectMarkers(*G, A.Config);
+
+    LegacyS[0] += timeBest([&] {
+      ExecutionObserver Nop;
+      Interpreter I(*Bin, In);
+      I.run(Nop, Cap);
+    });
+    EngineS[0] += timeBest([&] {
+      NullSink S;
+      Interpreter I(*Bin, In);
+      I.runFast(S, Cap);
+    });
+
+    LegacyS[1] += timeBest([&] {
+      CallLoopGraph PG(*Bin, Loops);
+      CallLoopTracker T(*Bin, Loops, PG);
+      GraphProfiler P(PG);
+      T.addListener(&P);
+      ObserverMux Mux;
+      Mux.add(&T);
+      Interpreter I(*Bin, In);
+      I.run(Mux, Cap);
+    });
+    EngineS[1] += timeBest([&] {
+      CallLoopGraph PG(*Bin, Loops);
+      CallLoopTracker T(*Bin, Loops, PG);
+      T.setProfileTarget(&PG);
+      Interpreter I(*Bin, In);
+      I.runFast(T, Cap);
+    });
+
+    LegacyS[2] += timeBest([&] {
+      PerfModel Perf;
+      IntervalBuilder Ivb =
+          IntervalBuilder::markerDriven(&Perf, /*CollectBbv=*/false);
+      CallLoopTracker T(*Bin, Loops, *G);
+      MarkerRuntime RT(Sel.Markers, *G);
+      T.addListener(&RT);
+      RT.setCallback([&](int32_t Idx) { Ivb.requestCut(Idx); });
+      ObserverMux Mux;
+      Mux.add(&T);
+      Mux.add(&Ivb);
+      Mux.add(&Perf);
+      Interpreter I(*Bin, In);
+      I.run(Mux, Cap);
+    });
+    EngineS[2] += timeBest([&] {
+      PerfModel Perf;
+      IntervalBuilder Ivb =
+          IntervalBuilder::markerDriven(&Perf, /*CollectBbv=*/false);
+      CallLoopTracker T(*Bin, Loops, *G);
+      MarkerRuntime RT(Sel.Markers, *G);
+      T.addListener(&RT);
+      RT.setCallback([&](int32_t Idx) { Ivb.requestCut(Idx); });
+      StaticMux<CallLoopTracker, IntervalBuilder, PerfModel> Mux(T, Ivb,
+                                                                 Perf);
+      Interpreter I(*Bin, In);
+      I.runFast(Mux, Cap);
+    });
+
+    LegacyS[3] += timeBest([&] {
+      PerfModel Perf;
+      IntervalBuilder Ivb =
+          IntervalBuilder::fixedLength(100000, &Perf, /*CollectBbv=*/true);
+      ObserverMux Mux;
+      Mux.add(&Ivb);
+      Mux.add(&Perf);
+      Interpreter I(*Bin, In);
+      I.run(Mux, Cap);
+    });
+    EngineS[3] += timeBest([&] {
+      PerfModel Perf;
+      IntervalBuilder Ivb =
+          IntervalBuilder::fixedLength(100000, &Perf, /*CollectBbv=*/true);
+      StaticMux<IntervalBuilder, PerfModel> Mux(Ivb, Perf);
+      Interpreter I(*Bin, In);
+      I.runFast(Mux, Cap);
+    });
+
+    LegacyS[4] += timeBest([&] {
+      PerfModel Perf;
+      Interpreter I(*Bin, In);
+      I.run(Perf, Cap);
+    });
+    EngineS[4] += timeBest([&] {
+      PerfModel Perf;
+      Interpreter I(*Bin, In);
+      I.runFast(Perf, Cap);
+    });
+  }
+
+  Table T;
+  T.row()
+      .cell("stage")
+      .cell("legacy Mev/s")
+      .cell("engine Mev/s")
+      .cell("speedup");
+  char Buf[256];
+  std::string Json = "{\n  \"bench\": \"engine-profile\",\n";
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"cap_instrs\": %llu,\n  \"reps\": %d,\n",
+                static_cast<unsigned long long>(Cap), Reps);
+  Json += Buf;
+  Json += "  \"workloads\": [";
+  for (size_t I = 0; I < Names.size(); ++I)
+    Json += (I ? ", \"" : "\"") + Names[I] + "\"";
+  std::snprintf(Buf, sizeof(Buf), "],\n  \"events\": %llu,\n  \"stages\": [\n",
+                static_cast<unsigned long long>(TotalEvents));
+  Json += Buf;
+  for (int S = 0; S < NumStages; ++S) {
+    double LegacyEps = TotalEvents / LegacyS[S];
+    double EngineEps = TotalEvents / EngineS[S];
+    double Speedup = LegacyS[S] / EngineS[S];
+    std::snprintf(Buf, sizeof(Buf), "%.2fx", Speedup);
+    T.row()
+        .cell(StageNames[S])
+        .cell(LegacyEps / 1e6, 1)
+        .cell(EngineEps / 1e6, 1)
+        .cell(std::string(Buf));
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\"stage\": \"%s\", \"legacy_s\": %.6f, "
+                  "\"engine_s\": %.6f, \"legacy_eps\": %.0f, "
+                  "\"engine_eps\": %.0f, \"speedup\": %.3f}%s\n",
+                  StageNames[S], LegacyS[S], EngineS[S], LegacyEps,
+                  EngineEps, Speedup, S + 1 < NumStages ? "," : "");
+    Json += Buf;
+  }
+  Json += "  ]\n}\n";
+
+  std::printf("%s", T.str().c_str());
+  std::string OutPath =
+      A.OutPath.empty() ? std::string("BENCH_engine.json") : A.OutPath;
+  if (!writeOutput(OutPath, Json)) {
+    std::fprintf(stderr, "bench: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", OutPath.c_str());
   return 0;
 }
 
