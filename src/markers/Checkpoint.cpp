@@ -1,0 +1,264 @@
+//===- markers/Checkpoint.cpp - Pipeline checkpoint (de)serialization -----==//
+
+#include "markers/Checkpoint.h"
+
+#include "support/Bytes.h"
+
+using namespace spm;
+
+namespace {
+
+// 8-byte magic; the trailing newline makes accidental text-file confusion
+// fail on the first comparison.
+constexpr char Magic[8] = {'s', 'p', 'm', 'c', 'k', 'p', 't', '\n'};
+
+void putCounters(ByteWriter &W, const PerfCounters &C) {
+  W.u64(C.Instrs);
+  W.u64(C.BaseCycles);
+  W.u64(C.L1Accesses);
+  W.u64(C.L1Misses);
+  W.u64(C.L2Accesses);
+  W.u64(C.L2Misses);
+  W.u64(C.Branches);
+  W.u64(C.Mispredicts);
+}
+
+PerfCounters getCounters(ByteReader &R) {
+  PerfCounters C;
+  C.Instrs = R.u64();
+  C.BaseCycles = R.u64();
+  C.L1Accesses = R.u64();
+  C.L1Misses = R.u64();
+  C.L2Accesses = R.u64();
+  C.L2Misses = R.u64();
+  C.Branches = R.u64();
+  C.Mispredicts = R.u64();
+  return C;
+}
+
+void putCache(ByteWriter &W, const CacheModelState &St) {
+  W.u64(St.Stats.Accesses);
+  W.u64(St.Stats.Misses);
+  W.vecU64(St.Tags);
+  W.vecU64(St.Stamps);
+  W.u64(St.Clock);
+}
+
+CacheModelState getCache(ByteReader &R) {
+  CacheModelState St;
+  St.Stats.Accesses = R.u64();
+  St.Stats.Misses = R.u64();
+  R.vecU64(St.Tags);
+  R.vecU64(St.Stamps);
+  St.Clock = R.u64();
+  return St;
+}
+
+/// Reads a serialized bool, rejecting anything but 0/1 (a corrupted flag
+/// byte must not silently decode as "true").
+bool getBool(ByteReader &R) {
+  uint8_t V = R.u8();
+  if (V > 1)
+    R.fail("malformed boolean flag");
+  return V == 1;
+}
+
+} // namespace
+
+std::string spm::serializeCheckpoint(const PipelineCheckpoint &C) {
+  ByteWriter W;
+  W.bytes(Magic, sizeof(Magic));
+  W.u32(PipelineCheckpoint::Version);
+  W.u64(C.Seed);
+
+  // Interpreter section.
+  const InterpCheckpoint &I = C.Interp;
+  W.u64(I.TotalInstrs);
+  W.u64(I.TotalBlocks);
+  W.u64(I.TotalMemAccesses);
+  for (uint64_t S : I.Rand.S)
+    W.u64(S);
+  W.f64(I.Rand.Spare);
+  W.u8(I.Rand.HaveSpare ? 1 : 0);
+  W.vecU64(I.SeqPos);
+  W.vecU64(I.ChaseState);
+  W.vecU64(I.RandState);
+  W.vecU64(I.SchedCursor);
+  W.vecU64(I.CondCounter);
+  W.vecU64(I.RRCursor);
+  W.u64(I.Frames.size());
+  for (const ResumeFrame &F : I.Frames) {
+    W.u8(static_cast<uint8_t>(F.K));
+    W.u8(F.Step);
+    W.u32(F.Id);
+    W.u64(F.Trip);
+    W.u64(F.Iter);
+    W.u8(F.Flag ? 1 : 0);
+  }
+  W.u8(I.Finished ? 1 : 0);
+
+  W.u8(C.HasTracker ? 1 : 0);
+  if (C.HasTracker) {
+    W.u64(C.Tracker.Stack.size());
+    for (const TrackerCheckpoint::FrameState &F : C.Tracker.Stack) {
+      W.u8(F.K);
+      W.u32(F.Node);
+      W.u32(F.EdgeFrom);
+      W.u64(F.Hier);
+      W.i32(F.LoopId);
+      W.u32(F.FuncId);
+    }
+    W.vecU32(C.Tracker.ActiveDepth);
+  }
+
+  W.u8(C.HasInterval ? 1 : 0);
+  if (C.HasInterval) {
+    const IntervalBuilderState &V = C.Interval;
+    W.u64(V.StartInstr);
+    W.u64(V.CurInstrs);
+    W.i32(V.CurPhase);
+    W.u8(V.PendingCut ? 1 : 0);
+    W.i32(V.PendingPhase);
+    putCounters(W, V.LastPerf);
+    W.u64(V.Partial.size());
+    for (const auto &[Id, Weight] : V.Partial) {
+      W.u32(Id);
+      W.f64(Weight);
+    }
+  }
+
+  W.u8(C.HasPerf ? 1 : 0);
+  if (C.HasPerf) {
+    const PerfModelState &P = C.Perf;
+    putCounters(W, P.C);
+    putCache(W, P.DL1);
+    W.u8(P.HasL2 ? 1 : 0);
+    if (P.HasL2)
+      putCache(W, P.L2);
+    W.vecU8(P.Bp.Counters);
+    W.u64(P.Bp.Branches);
+    W.u64(P.Bp.Mispredicts);
+  }
+
+  W.u8(C.HasMarkers ? 1 : 0);
+  if (C.HasMarkers) {
+    W.vecU64(C.Markers.GroupCounter);
+    W.u64(C.Markers.Fired);
+  }
+
+  return W.take();
+}
+
+std::optional<PipelineCheckpoint>
+spm::parseCheckpoint(const std::string &Data, std::string *Error) {
+  auto Fail = [&](const std::string &Why) {
+    if (Error)
+      *Error = Why;
+    return std::nullopt;
+  };
+
+  ByteReader R(Data);
+  if (!R.expect(Magic, sizeof(Magic), "missing checkpoint magic"))
+    return Fail(R.error());
+  uint32_t Ver = R.u32();
+  if (R.ok() && Ver != PipelineCheckpoint::Version)
+    return Fail("unsupported checkpoint version " + std::to_string(Ver));
+
+  PipelineCheckpoint C;
+  C.Seed = R.u64();
+
+  InterpCheckpoint &I = C.Interp;
+  I.TotalInstrs = R.u64();
+  I.TotalBlocks = R.u64();
+  I.TotalMemAccesses = R.u64();
+  for (uint64_t &S : I.Rand.S)
+    S = R.u64();
+  I.Rand.Spare = R.f64();
+  I.Rand.HaveSpare = getBool(R);
+  R.vecU64(I.SeqPos);
+  R.vecU64(I.ChaseState);
+  R.vecU64(I.RandState);
+  R.vecU64(I.SchedCursor);
+  R.vecU64(I.CondCounter);
+  R.vecU64(I.RRCursor);
+  uint64_t NFrames = R.count();
+  I.Frames.reserve(R.ok() ? NFrames : 0);
+  for (uint64_t N = 0; N < NFrames && R.ok(); ++N) {
+    ResumeFrame F;
+    uint8_t K = R.u8();
+    if (K > static_cast<uint8_t>(ResumeFrame::Kind::Call)) {
+      R.fail("invalid resume frame kind");
+      break;
+    }
+    F.K = static_cast<ResumeFrame::Kind>(K);
+    F.Step = R.u8();
+    if (F.Step > 2)
+      R.fail("invalid resume frame step");
+    F.Id = R.u32();
+    F.Trip = R.u64();
+    F.Iter = R.u64();
+    F.Flag = getBool(R);
+    I.Frames.push_back(F);
+  }
+  I.Finished = getBool(R);
+
+  C.HasTracker = getBool(R);
+  if (C.HasTracker) {
+    uint64_t NStack = R.count();
+    C.Tracker.Stack.reserve(R.ok() ? NStack : 0);
+    for (uint64_t N = 0; N < NStack && R.ok(); ++N) {
+      TrackerCheckpoint::FrameState F;
+      F.K = R.u8();
+      F.Node = R.u32();
+      F.EdgeFrom = R.u32();
+      F.Hier = R.u64();
+      F.LoopId = R.i32();
+      F.FuncId = R.u32();
+      C.Tracker.Stack.push_back(F);
+    }
+    R.vecU32(C.Tracker.ActiveDepth);
+  }
+
+  C.HasInterval = getBool(R);
+  if (C.HasInterval) {
+    IntervalBuilderState &V = C.Interval;
+    V.StartInstr = R.u64();
+    V.CurInstrs = R.u64();
+    V.CurPhase = R.i32();
+    V.PendingCut = getBool(R);
+    V.PendingPhase = R.i32();
+    V.LastPerf = getCounters(R);
+    uint64_t NPartial = R.count();
+    V.Partial.reserve(R.ok() ? NPartial : 0);
+    for (uint64_t N = 0; N < NPartial && R.ok(); ++N) {
+      uint32_t Id = R.u32();
+      double Weight = R.f64();
+      V.Partial.push_back({Id, Weight});
+    }
+  }
+
+  C.HasPerf = getBool(R);
+  if (C.HasPerf) {
+    PerfModelState &P = C.Perf;
+    P.C = getCounters(R);
+    P.DL1 = getCache(R);
+    P.HasL2 = getBool(R);
+    if (P.HasL2)
+      P.L2 = getCache(R);
+    R.vecU8(P.Bp.Counters);
+    P.Bp.Branches = R.u64();
+    P.Bp.Mispredicts = R.u64();
+  }
+
+  C.HasMarkers = getBool(R);
+  if (C.HasMarkers) {
+    R.vecU64(C.Markers.GroupCounter);
+    C.Markers.Fired = R.u64();
+  }
+
+  if (!R.ok())
+    return Fail(R.error());
+  if (!R.atEnd())
+    return Fail("trailing bytes after checkpoint");
+  return C;
+}

@@ -1,0 +1,78 @@
+//===- markers/Checkpoint.h - Pipeline-level checkpoint ---------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The complete resumable state of a marker-pipeline run at a segment
+/// boundary: the interpreter checkpoint (position, RNG streams, per-site
+/// cursors) plus the state of every observer in the stack — call-loop
+/// tracker shadow stack, partial interval, performance model (cache
+/// contents, predictor counters), and marker-runtime grouping counters.
+/// Observer sections are optional so the same format serves every driver:
+/// graph profiling carries only the tracker; fixed-interval runs carry
+/// interval + perf; the full marker pipeline carries everything.
+///
+/// The binary format is versioned and strict in the same way the text
+/// formats (serializeMarkers, serializeProfile) are: magic + version up
+/// front, bounds-checked reads, element-count sanity caps, and any
+/// truncation, corruption, or version mismatch fails the whole parse —
+/// resuming from half a checkpoint would silently corrupt every derived
+/// artifact. parseCheckpoint validates shapes internally; the interpreter
+/// frame stack must additionally pass InterpCheckpoint::validateFor against
+/// the binary before resuming.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_MARKERS_CHECKPOINT_H
+#define SPM_MARKERS_CHECKPOINT_H
+
+#include "callloop/Tracker.h"
+#include "markers/Runtime.h"
+#include "trace/Interval.h"
+#include "uarch/PerfModel.h"
+#include "vm/Checkpoint.h"
+
+#include <optional>
+#include <string>
+
+namespace spm {
+
+/// Aggregate checkpoint for a pipeline run.
+struct PipelineCheckpoint {
+  /// Current serialization version (bump on any layout change).
+  static constexpr uint32_t Version = 1;
+
+  /// Seed of the workload input the run was started with; a resume against
+  /// a different seed would splice two unrelated streams, so drivers check
+  /// it before restoring.
+  uint64_t Seed = 0;
+
+  InterpCheckpoint Interp;
+
+  bool HasTracker = false;
+  TrackerCheckpoint Tracker;
+
+  bool HasInterval = false;
+  IntervalBuilderState Interval;
+
+  bool HasPerf = false;
+  PerfModelState Perf;
+
+  bool HasMarkers = false;
+  MarkerRuntimeState Markers;
+};
+
+/// Renders a checkpoint in the v1 binary format.
+std::string serializeCheckpoint(const PipelineCheckpoint &C);
+
+/// Parses the v1 binary format. Returns std::nullopt and fills \p Error on
+/// truncated, corrupted, or wrong-version input.
+std::optional<PipelineCheckpoint>
+parseCheckpoint(const std::string &Data, std::string *Error = nullptr);
+
+} // namespace spm
+
+#endif // SPM_MARKERS_CHECKPOINT_H

@@ -1,0 +1,385 @@
+//===- markers/Sharded.h - Sharded pipeline execution -----------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shard-level execution: split one deterministic run into N instruction-
+/// count shards, execute them as independent resumable segments, and merge
+/// the per-shard outputs into results byte-identical to the uninterrupted
+/// run. See docs/sharding.md for the design.
+///
+/// Three phases:
+///  1. Plan — a mem-skipped pre-run with a null observer measures the run
+///     length; boundaries fall at i*Total/N.
+///  2. Warm — a serial fast-forward chain executes segment after segment,
+///     capturing a PipelineCheckpoint at every boundary. Cache contents,
+///     predictor counters, and tracker stacks are history-dependent, so
+///     this functional warming (SMARTS-style) cannot be skipped; for graph
+///     profiling the chain carries only interpreter + tracker and is cheap.
+///  3. Shard — every shard restores its checkpoint and re-executes its
+///     segment in parallel on the ambient thread pool, recording outputs.
+///
+/// Merging is deterministic and exact:
+///  - Interval records concatenate in shard order. An interval spanning a
+///    boundary is emitted exactly once — by the shard where it cuts — with
+///    exact content, because the open interval's partial state (position,
+///    BBV, counter snapshot) traveled in the checkpoint.
+///  - Marker firings concatenate in shard order.
+///  - Graph statistics replay per-shard ordered traversal logs into one
+///    graph, reproducing the sequential Welford accumulation bit-for-bit.
+///    A traversal spanning a boundary is recorded once, by the shard that
+///    closes the frame, with the carried partial hierarchical count.
+///    (CallLoopGraph::mergeFrom offers the cheaper Chan-merge alternative
+///    when bit-identity is not required.)
+///
+/// On a single-CPU host the value is checkpointing itself (resumable runs,
+/// differential testing); with cores, phase 3 parallelizes the expensive
+/// full-observation pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_MARKERS_SHARDED_H
+#define SPM_MARKERS_SHARDED_H
+
+#include "callloop/Profile.h"
+#include "markers/Checkpoint.h"
+#include "markers/Pipeline.h"
+#include "support/Parallel.h"
+
+#include <cassert>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <vector>
+
+namespace spm {
+
+/// Tracker listener that records every finished edge traversal in stream
+/// order, for exact-order replay into a graph during shard merge.
+class TraversalLog : public TrackerListener {
+public:
+  struct Entry {
+    NodeId From;
+    NodeId To;
+    uint64_t Hier;
+  };
+
+  void onEdgeEnd(NodeId From, NodeId To, uint64_t HierInstrs) override {
+    Log.push_back({From, To, HierInstrs});
+  }
+
+  std::vector<Entry> Log;
+};
+
+/// Segment end positions (cumulative instruction counts) for an N-shard
+/// split. Until.size() == N; the last entry is the caller's original
+/// MaxInstrs so the final shard terminates exactly as run() would.
+struct ShardPlan {
+  std::vector<uint64_t> Until;
+};
+
+/// Plans \p NShards boundaries by measuring the run length with a null
+/// observer (memory generation skipped, so this is the cheapest possible
+/// pass over the control flow).
+inline ShardPlan
+planShards(const Binary &B, const WorkloadInput &In, unsigned NShards,
+           uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max()) {
+  assert(NShards >= 1 && "need at least one shard");
+  struct NullObs {};
+  NullObs O;
+  Interpreter Interp(B, In);
+  uint64_t Total = Interp.runFast(O, MaxInstrs).TotalInstrs;
+
+  ShardPlan P;
+  P.Until.reserve(NShards);
+  for (unsigned S = 0; S + 1 < NShards; ++S)
+    P.Until.push_back(Total * (S + 1) / NShards);
+  P.Until.push_back(MaxInstrs);
+  return P;
+}
+
+namespace detail {
+
+inline double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+} // namespace detail
+
+/// Sharded call-loop graph profiling: byte-identical to buildCallLoopGraph
+/// for any shard count. The warming chain carries interpreter + tracker
+/// only. \p ShardSeconds, when non-null, receives per-shard wall times.
+inline std::unique_ptr<CallLoopGraph> buildCallLoopGraphSharded(
+    const Binary &B, const LoopIndex &Loops, const WorkloadInput &In,
+    unsigned NShards,
+    uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max(),
+    std::vector<double> *ShardSeconds = nullptr) {
+  if (NShards <= 1) {
+    auto T0 = std::chrono::steady_clock::now();
+    auto G = buildCallLoopGraph(B, Loops, In, MaxInstrs);
+    if (ShardSeconds)
+      ShardSeconds->push_back(detail::secondsSince(T0));
+    return G;
+  }
+
+  ShardPlan Plan = planShards(B, In, NShards, MaxInstrs);
+  auto G = std::make_unique<CallLoopGraph>(B, Loops);
+
+  // Warm: interpreter + bare tracker (no listeners, no profile target).
+  std::vector<PipelineCheckpoint> Cks(NShards - 1);
+  {
+    Interpreter Interp(B, In);
+    CallLoopTracker Tracker(B, Loops, *G);
+    Tracker.onRunStart(B, In);
+    const InterpCheckpoint *From = nullptr;
+    for (unsigned S = 0; S + 1 < NShards; ++S) {
+      Interp.runFastSegment(Tracker, From, Plan.Until[S], &Cks[S].Interp);
+      Cks[S].Seed = In.seed();
+      Cks[S].HasTracker = true;
+      Cks[S].Tracker = Tracker.saveState();
+      From = &Cks[S].Interp;
+    }
+  }
+
+  // Shard: replay each segment with a traversal log.
+  struct Out {
+    std::vector<TraversalLog::Entry> Log;
+    double Sec = 0.0;
+  };
+  std::vector<std::unique_ptr<Out>> Outs =
+      parallelMap(NShards, [&](size_t S) {
+        auto T0 = std::chrono::steady_clock::now();
+        auto O = std::make_unique<Out>();
+        Interpreter Interp(B, In);
+        CallLoopTracker Tracker(B, Loops, *G);
+        TraversalLog Log;
+        Tracker.addListener(&Log);
+        RunResult R;
+        if (S == 0) {
+          Tracker.onRunStart(B, In);
+          R = Interp.runFastSegment(Tracker, nullptr, Plan.Until[0]);
+        } else {
+          bool OK = Tracker.restoreState(Cks[S - 1].Tracker);
+          assert(OK && "tracker checkpoint does not fit the binary");
+          (void)OK;
+          R = Interp.runFastSegment(Tracker, &Cks[S - 1].Interp,
+                                    Plan.Until[S]);
+        }
+        if (S + 1 == NShards)
+          Tracker.onRunEnd(R.TotalInstrs); // Pop-all, as run() does.
+        O->Log = std::move(Log.Log);
+        O->Sec = detail::secondsSince(T0);
+        return O;
+      });
+
+  // Merge: replay the logs in shard order — the concatenation is the exact
+  // traversal-end order of the uninterrupted run, so the Welford updates
+  // happen in the same sequence on the same values.
+  for (const auto &O : Outs) {
+    for (const TraversalLog::Entry &E : O->Log)
+      G->addTraversal(E.From, E.To, E.Hier);
+    if (ShardSeconds)
+      ShardSeconds->push_back(O->Sec);
+  }
+  G->finalize();
+  return G;
+}
+
+/// Sharded marker-instrumented run: intervals, firings, and run totals
+/// byte-identical to runMarkerIntervals for any shard count.
+inline MarkerRun runMarkerIntervalsSharded(
+    const Binary &B, const LoopIndex &Loops, const CallLoopGraph &G,
+    const MarkerSet &M, const WorkloadInput &In, bool CollectBbv,
+    bool RecordFirings, unsigned NShards,
+    uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max(),
+    const PerfModelOptions &PerfOpts = PerfModelOptions(),
+    std::vector<double> *ShardSeconds = nullptr) {
+  if (NShards <= 1) {
+    auto T0 = std::chrono::steady_clock::now();
+    MarkerRun Out = runMarkerIntervals(B, Loops, G, M, In, CollectBbv,
+                                       RecordFirings, MaxInstrs, PerfOpts);
+    if (ShardSeconds)
+      ShardSeconds->push_back(detail::secondsSince(T0));
+    return Out;
+  }
+
+  ShardPlan Plan = planShards(B, In, NShards, MaxInstrs);
+
+  // Warm: the full observer stack must run (cache and predictor contents
+  // are history-dependent); its outputs are discarded, only boundary
+  // checkpoints are kept.
+  std::vector<PipelineCheckpoint> Cks(NShards - 1);
+  {
+    PerfModel Perf(PerfOpts);
+    IntervalBuilder Ivb = IntervalBuilder::markerDriven(&Perf, CollectBbv);
+    CallLoopTracker Tracker(B, Loops, G);
+    MarkerRuntime Runtime(M, G);
+    Tracker.addListener(&Runtime);
+    Runtime.setCallback([&](int32_t Idx) { Ivb.requestCut(Idx); });
+    StaticMux<CallLoopTracker, IntervalBuilder, PerfModel> Mux(Tracker, Ivb,
+                                                               Perf);
+    Interpreter Interp(B, In);
+    Mux.onRunStart(B, In);
+    const InterpCheckpoint *From = nullptr;
+    for (unsigned S = 0; S + 1 < NShards; ++S) {
+      Interp.runFastSegment(Mux, From, Plan.Until[S], &Cks[S].Interp);
+      Cks[S].Seed = In.seed();
+      Cks[S].HasTracker = true;
+      Cks[S].Tracker = Tracker.saveState();
+      Cks[S].HasInterval = true;
+      Cks[S].Interval = Ivb.saveState();
+      Cks[S].HasPerf = true;
+      Cks[S].Perf = Perf.saveState();
+      Cks[S].HasMarkers = true;
+      Cks[S].Markers = Runtime.saveState();
+      From = &Cks[S].Interp;
+    }
+  }
+
+  // Shard: restore and record.
+  struct Out {
+    std::vector<IntervalRecord> Iv;
+    std::vector<int32_t> Fr;
+    RunResult R;
+    double Sec = 0.0;
+  };
+  std::vector<std::unique_ptr<Out>> Outs =
+      parallelMap(NShards, [&](size_t S) {
+        auto T0 = std::chrono::steady_clock::now();
+        auto O = std::make_unique<Out>();
+        PerfModel Perf(PerfOpts);
+        IntervalBuilder Ivb =
+            IntervalBuilder::markerDriven(&Perf, CollectBbv);
+        CallLoopTracker Tracker(B, Loops, G);
+        MarkerRuntime Runtime(M, G);
+        Tracker.addListener(&Runtime);
+        Runtime.setCallback([&, OutP = O.get()](int32_t Idx) {
+          Ivb.requestCut(Idx);
+          if (RecordFirings)
+            OutP->Fr.push_back(Idx);
+        });
+        StaticMux<CallLoopTracker, IntervalBuilder, PerfModel> Mux(
+            Tracker, Ivb, Perf);
+        Interpreter Interp(B, In);
+        if (S == 0) {
+          Mux.onRunStart(B, In);
+          O->R = Interp.runFastSegment(Mux, nullptr, Plan.Until[0]);
+        } else {
+          const PipelineCheckpoint &C = Cks[S - 1];
+          bool OK = Tracker.restoreState(C.Tracker) &&
+                    Perf.restoreState(C.Perf) &&
+                    Runtime.restoreState(C.Markers);
+          assert(OK && "checkpoint does not fit this pipeline");
+          (void)OK;
+          Ivb.restoreState(C.Interval);
+          O->R = Interp.runFastSegment(Mux, &C.Interp, Plan.Until[S]);
+        }
+        if (S + 1 == NShards)
+          Mux.onRunEnd(O->R.TotalInstrs); // Pop-all + final interval cut.
+        O->Iv = Ivb.takeIntervals();
+        O->Sec = detail::secondsSince(T0);
+        return O;
+      });
+
+  MarkerRun Out;
+  Out.Run = Outs.back()->R; // Cumulative totals; limit flag of the final
+                            // segment, whose budget is the original cap.
+  for (auto &O : Outs) {
+    Out.Intervals.insert(Out.Intervals.end(),
+                         std::make_move_iterator(O->Iv.begin()),
+                         std::make_move_iterator(O->Iv.end()));
+    Out.Firings.insert(Out.Firings.end(), O->Fr.begin(), O->Fr.end());
+    if (ShardSeconds)
+      ShardSeconds->push_back(O->Sec);
+  }
+  return Out;
+}
+
+/// Sharded fixed-length interval run: byte-identical to runFixedIntervals
+/// for any shard count.
+inline std::vector<IntervalRecord> runFixedIntervalsSharded(
+    const Binary &B, const WorkloadInput &In, uint64_t Len, bool CollectBbv,
+    unsigned NShards,
+    uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max(),
+    const PerfModelOptions &PerfOpts = PerfModelOptions(),
+    std::vector<double> *ShardSeconds = nullptr) {
+  if (NShards <= 1) {
+    auto T0 = std::chrono::steady_clock::now();
+    auto Out =
+        runFixedIntervals(B, In, Len, CollectBbv, MaxInstrs, PerfOpts);
+    if (ShardSeconds)
+      ShardSeconds->push_back(detail::secondsSince(T0));
+    return Out;
+  }
+
+  ShardPlan Plan = planShards(B, In, NShards, MaxInstrs);
+
+  std::vector<PipelineCheckpoint> Cks(NShards - 1);
+  {
+    PerfModel Perf(PerfOpts);
+    IntervalBuilder Ivb = IntervalBuilder::fixedLength(Len, &Perf,
+                                                       CollectBbv);
+    StaticMux<IntervalBuilder, PerfModel> Mux(Ivb, Perf);
+    Interpreter Interp(B, In);
+    Mux.onRunStart(B, In);
+    const InterpCheckpoint *From = nullptr;
+    for (unsigned S = 0; S + 1 < NShards; ++S) {
+      Interp.runFastSegment(Mux, From, Plan.Until[S], &Cks[S].Interp);
+      Cks[S].Seed = In.seed();
+      Cks[S].HasInterval = true;
+      Cks[S].Interval = Ivb.saveState();
+      Cks[S].HasPerf = true;
+      Cks[S].Perf = Perf.saveState();
+      From = &Cks[S].Interp;
+    }
+  }
+
+  struct Out {
+    std::vector<IntervalRecord> Iv;
+    double Sec = 0.0;
+  };
+  std::vector<std::unique_ptr<Out>> Outs =
+      parallelMap(NShards, [&](size_t S) {
+        auto T0 = std::chrono::steady_clock::now();
+        auto O = std::make_unique<Out>();
+        PerfModel Perf(PerfOpts);
+        IntervalBuilder Ivb = IntervalBuilder::fixedLength(Len, &Perf,
+                                                           CollectBbv);
+        StaticMux<IntervalBuilder, PerfModel> Mux(Ivb, Perf);
+        Interpreter Interp(B, In);
+        RunResult R;
+        if (S == 0) {
+          Mux.onRunStart(B, In);
+          R = Interp.runFastSegment(Mux, nullptr, Plan.Until[0]);
+        } else {
+          const PipelineCheckpoint &C = Cks[S - 1];
+          bool OK = Perf.restoreState(C.Perf);
+          assert(OK && "perf checkpoint does not fit this model");
+          (void)OK;
+          Ivb.restoreState(C.Interval);
+          R = Interp.runFastSegment(Mux, &C.Interp, Plan.Until[S]);
+        }
+        if (S + 1 == NShards)
+          Mux.onRunEnd(R.TotalInstrs);
+        O->Iv = Ivb.takeIntervals();
+        O->Sec = detail::secondsSince(T0);
+        return O;
+      });
+
+  std::vector<IntervalRecord> Merged;
+  for (auto &O : Outs) {
+    Merged.insert(Merged.end(), std::make_move_iterator(O->Iv.begin()),
+                  std::make_move_iterator(O->Iv.end()));
+    if (ShardSeconds)
+      ShardSeconds->push_back(O->Sec);
+  }
+  return Merged;
+}
+
+} // namespace spm
+
+#endif // SPM_MARKERS_SHARDED_H

@@ -1,0 +1,180 @@
+//===- support/Bytes.h - Bounds-checked binary (de)serialization -*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian binary writer/reader for the versioned checkpoint format.
+/// The reader is strict in the same way the text parsers (parseMarkers,
+/// parseProfile) are: every read is bounds-checked, a failed read latches an
+/// error instead of invoking UB, and element counts are capped so a
+/// corrupted length prefix cannot trigger a multi-gigabyte allocation.
+/// Doubles travel as their IEEE-754 bit patterns, so round trips are
+/// bit-exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_SUPPORT_BYTES_H
+#define SPM_SUPPORT_BYTES_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace spm {
+
+/// Appends little-endian scalars to a byte buffer.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) { le(V, 4); }
+  void u64(uint64_t V) { le(V, 8); }
+  void i32(int32_t V) { le(static_cast<uint32_t>(V), 4); }
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, 8);
+    u64(Bits);
+  }
+  void bytes(const void *Data, size_t N) {
+    Buf.append(static_cast<const char *>(Data), N);
+  }
+  /// Length-prefixed u64 vector.
+  void vecU64(const std::vector<uint64_t> &V) {
+    u64(V.size());
+    for (uint64_t X : V)
+      u64(X);
+  }
+  void vecU32(const std::vector<uint32_t> &V) {
+    u64(V.size());
+    for (uint32_t X : V)
+      u32(X);
+  }
+  void vecU8(const std::vector<uint8_t> &V) {
+    u64(V.size());
+    bytes(V.data(), V.size());
+  }
+
+  const std::string &str() const { return Buf; }
+  std::string take() { return std::move(Buf); }
+
+private:
+  void le(uint64_t V, int NBytes) {
+    for (int I = 0; I < NBytes; ++I)
+      Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+
+  std::string Buf;
+};
+
+/// Strict little-endian reader over a byte buffer. Any out-of-bounds read
+/// latches the failure state; callers check ok() (typically once, at the
+/// end) and every partial value read after a failure is zero.
+class ByteReader {
+public:
+  /// Sanity cap on deserialized element counts: far above any real
+  /// checkpoint, far below anything that could exhaust memory.
+  static constexpr uint64_t MaxElems = 1ull << 28;
+
+  explicit ByteReader(const std::string &Data) : Data(Data) {}
+
+  bool ok() const { return !Failed; }
+  /// True when the whole buffer was consumed (trailing garbage is a parse
+  /// error for a strict format).
+  bool atEnd() const { return Pos == Data.size(); }
+  const std::string &error() const { return Err; }
+
+  uint8_t u8() { return static_cast<uint8_t>(le(1)); }
+  uint32_t u32() { return static_cast<uint32_t>(le(4)); }
+  uint64_t u64() { return le(8); }
+  int32_t i32() { return static_cast<int32_t>(le(4)); }
+  double f64() {
+    uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, 8);
+    return V;
+  }
+
+  bool vecU64(std::vector<uint64_t> &Out) {
+    uint64_t N = count();
+    if (Failed)
+      return false;
+    Out.resize(N);
+    for (uint64_t I = 0; I < N; ++I)
+      Out[I] = u64();
+    return ok();
+  }
+  bool vecU32(std::vector<uint32_t> &Out) {
+    uint64_t N = count();
+    if (Failed)
+      return false;
+    Out.resize(N);
+    for (uint64_t I = 0; I < N; ++I)
+      Out[I] = u32();
+    return ok();
+  }
+  bool vecU8(std::vector<uint8_t> &Out) {
+    uint64_t N = count();
+    if (Failed || Pos + N > Data.size()) {
+      fail("truncated byte vector");
+      return false;
+    }
+    Out.resize(N);
+    std::memcpy(Out.data(), Data.data() + Pos, N);
+    Pos += N;
+    return true;
+  }
+
+  /// Reads a length prefix, rejecting counts that cannot be legitimate.
+  uint64_t count() {
+    uint64_t N = u64();
+    if (!Failed && N > MaxElems)
+      fail("element count exceeds sanity cap");
+    return Failed ? 0 : N;
+  }
+
+  /// Consumes \p N literal bytes and compares; fails on mismatch.
+  bool expect(const void *Bytes, size_t N, const char *What) {
+    if (Pos + N > Data.size() ||
+        std::memcmp(Data.data() + Pos, Bytes, N) != 0) {
+      fail(What);
+      return false;
+    }
+    Pos += N;
+    return true;
+  }
+
+  void fail(const char *Why) {
+    if (!Failed) {
+      Failed = true;
+      Err = Why;
+    }
+  }
+
+private:
+  uint64_t le(int NBytes) {
+    if (Failed)
+      return 0;
+    if (Pos + static_cast<size_t>(NBytes) > Data.size()) {
+      fail("truncated input");
+      return 0;
+    }
+    uint64_t V = 0;
+    for (int I = 0; I < NBytes; ++I)
+      V |= static_cast<uint64_t>(static_cast<uint8_t>(Data[Pos + I]))
+           << (8 * I);
+    Pos += NBytes;
+    return V;
+  }
+
+  const std::string &Data;
+  size_t Pos = 0;
+  bool Failed = false;
+  std::string Err;
+};
+
+} // namespace spm
+
+#endif // SPM_SUPPORT_BYTES_H

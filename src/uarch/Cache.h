@@ -68,6 +68,17 @@ struct CacheStats {
   }
 };
 
+/// Complete mutable state of a CacheModel (tags, LRU stamps, clock,
+/// counters), exposed so checkpoints can snapshot and resume a simulation
+/// bit-exactly. Cache contents are history-dependent, so sharded execution
+/// cannot skip ahead without carrying this.
+struct CacheModelState {
+  CacheStats Stats;
+  std::vector<uint64_t> Tags;
+  std::vector<uint64_t> Stamps;
+  uint64_t Clock = 0;
+};
+
 /// A single set-associative LRU cache.
 class CacheModel {
 public:
@@ -159,6 +170,21 @@ public:
   const CacheConfig &config() const { return Cfg; }
   const CacheStats &stats() const { return Stats; }
   void resetStats() { Stats = CacheStats(); }
+
+  CacheModelState saveState() const { return {Stats, Tags, Stamps, Clock}; }
+
+  /// Restores a snapshot taken from a cache of the same geometry. Returns
+  /// false (leaving the cache untouched) when the snapshot's table shape
+  /// does not match the current configuration.
+  bool restoreState(const CacheModelState &St) {
+    if (St.Tags.size() != Tags.size() || St.Stamps.size() != Stamps.size())
+      return false;
+    Stats = St.Stats;
+    Tags = St.Tags;
+    Stamps = St.Stamps;
+    Clock = St.Clock;
+    return true;
+  }
 
 private:
   uint32_t setBits() const {

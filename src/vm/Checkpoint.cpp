@@ -1,0 +1,152 @@
+//===- vm/Checkpoint.cpp - Resume-frame structural validation -------------==//
+
+#include "vm/Checkpoint.h"
+
+#include "vm/Interpreter.h"
+
+using namespace spm;
+
+namespace {
+
+/// Walks a frame stack against the exec tree, mirroring the resume descent
+/// without executing anything. Anything the resume walk would index by must
+/// be proven in range here first.
+struct Validator {
+  const Binary &B;
+  const std::vector<ResumeFrame> &Fr;
+  size_t Idx = 0;
+  const char *Err = nullptr;
+
+  bool fail(const char *Why) {
+    if (!Err)
+      Err = Why;
+    return false;
+  }
+
+  const ResumeFrame *next() {
+    return Idx < Fr.size() ? &Fr[Idx++] : nullptr;
+  }
+
+  bool func(unsigned Depth) {
+    const ResumeFrame *F = next();
+    if (!F || F->K != ResumeFrame::Kind::Func)
+      return fail("expected function frame");
+    if (F->Id >= B.Funcs.size())
+      return fail("function id out of range");
+    const LoweredFunction &Fn = B.func(F->Id);
+    switch (F->Step) {
+    case ResumeFrame::StepEntry:
+    case ResumeFrame::StepExit:
+      return true;
+    case ResumeFrame::StepBody:
+      return seqChild(Fn.Body, Depth);
+    default:
+      return fail("bad function step");
+    }
+  }
+
+  bool seqChild(const std::vector<ExecNode> &List, unsigned Depth) {
+    const ResumeFrame *S = next();
+    if (!S || S->K != ResumeFrame::Kind::Seq)
+      return fail("expected child-index frame");
+    if (S->Id >= List.size())
+      return fail("child index out of range");
+    return node(List[S->Id], Depth);
+  }
+
+  bool node(const ExecNode &N, unsigned Depth) {
+    const ResumeFrame *F = next();
+    if (!F)
+      return fail("truncated frame stack");
+    switch (F->K) {
+    case ResumeFrame::Kind::Code:
+      return N.K == ExecNode::Kind::Code
+                 ? true
+                 : fail("code frame on a non-code node");
+
+    case ResumeFrame::Kind::Loop:
+      if (N.K != ExecNode::Kind::Loop)
+        return fail("loop frame on a non-loop node");
+      if (F->Trip == 0 || F->Iter >= F->Trip)
+        return fail("loop iteration outside its trip count");
+      switch (F->Step) {
+      case ResumeFrame::StepHeader:
+      case ResumeFrame::StepLatch:
+        return true;
+      case ResumeFrame::StepBody:
+        return seqChild(N.Children, Depth);
+      default:
+        return fail("bad loop step");
+      }
+
+    case ResumeFrame::Kind::If:
+      if (N.K != ExecNode::Kind::If)
+        return fail("if frame on a non-if node");
+      if (F->Step == ResumeFrame::StepCond)
+        return true;
+      if (F->Step != ResumeFrame::StepBody)
+        return fail("bad if step");
+      return seqChild(F->Flag ? N.Children : N.ElseChildren, Depth);
+
+    case ResumeFrame::Kind::Call: {
+      if (N.K != ExecNode::Kind::Call)
+        return fail("call frame on a non-call node");
+      if (F->Step == ResumeFrame::StepSite)
+        return true;
+      if (F->Step != ResumeFrame::StepBody)
+        return fail("bad call step");
+      bool IsCandidate = false;
+      for (const auto &Cand : N.Candidates)
+        IsCandidate |= (Cand.Callee == F->Id);
+      if (!IsCandidate)
+        return fail("recorded callee is not a candidate of the site");
+      if (Depth + 1 >= Interpreter::MaxCallDepth)
+        return fail("call nesting exceeds the depth cap");
+      if (Idx >= Fr.size() || Fr[Idx].K != ResumeFrame::Kind::Func ||
+          Fr[Idx].Id != F->Id)
+        return fail("call frame without its callee's function frame");
+      return func(Depth + 1);
+    }
+
+    default:
+      return fail("unexpected frame kind");
+    }
+  }
+};
+
+} // namespace
+
+bool InterpCheckpoint::validateFor(const Binary &B,
+                                   std::string *Error) const {
+  auto Fail = [&](const char *Why) {
+    if (Error)
+      *Error = Why;
+    return false;
+  };
+
+  if (SeqPos.size() != B.NumMemSites || ChaseState.size() != B.NumMemSites ||
+      RandState.size() != B.NumMemSites)
+    return Fail("memory-site cursor count does not match the binary");
+  if (SchedCursor.size() != B.NumTripSites)
+    return Fail("trip-site cursor count does not match the binary");
+  if (CondCounter.size() != B.NumCondSites)
+    return Fail("cond-site counter count does not match the binary");
+  if (RRCursor.size() != B.NumRRSites)
+    return Fail("round-robin cursor count does not match the binary");
+
+  if (Frames.empty())
+    return true; // Not started, or finished.
+  if (Finished)
+    return Fail("finished checkpoint must carry no frames");
+  if (B.Funcs.empty())
+    return Fail("frame stack against an empty binary");
+  if (Frames[0].K != ResumeFrame::Kind::Func || Frames[0].Id != 0)
+    return Fail("frame stack must be rooted at the entry function");
+
+  Validator V{B, Frames};
+  if (!V.func(/*Depth=*/0))
+    return Fail(V.Err ? V.Err : "malformed frame stack");
+  if (V.Idx != Frames.size())
+    return Fail("trailing frames after the suspension point");
+  return true;
+}

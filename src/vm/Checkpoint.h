@@ -1,0 +1,118 @@
+//===- vm/Checkpoint.h - Resumable interpreter state ------------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A checkpoint of the interpreter: everything needed to resume execution
+/// at an arbitrary block boundary (including mid-loop and mid-call) and
+/// reproduce the uninterrupted event stream bit-for-bit. Two parts:
+///
+///  - The *position*: the recursive exec-tree walk flattened into an
+///    explicit stack of ResumeFrames, recorded during the unwind when the
+///    instruction budget of a segment exhausts. Decisions already drawn
+///    before the boundary (loop trip counts, if outcomes, chosen callees)
+///    are stored in the frames; decisions not yet drawn are re-drawn on
+///    resume from the restored RNG — which is exact because the RNG snapshot
+///    was taken at the same point in the draw sequence.
+///
+///  - The *generator state*: the control-flow Rng and every per-site cursor
+///    (sequential positions, chase LCGs, counter-based random streams,
+///    schedule/periodic/round-robin counters), plus the cumulative
+///    RunResult.
+///
+/// Observer state (tracker stacks, interval builders, cache contents) is
+/// deliberately not here: the vm layer does not know those types. The
+/// pipeline-level aggregate lives in markers/Checkpoint.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_VM_CHECKPOINT_H
+#define SPM_VM_CHECKPOINT_H
+
+#include "ir/Binary.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spm {
+
+struct RunResult;
+
+/// One level of the suspended exec-tree walk. Frames are stored
+/// outermost-first: main's Func frame, then alternating Seq (child index)
+/// and node frames down to the block that crossed the boundary.
+struct ResumeFrame {
+  enum class Kind : uint8_t {
+    Func, ///< Inside a function; Id = FuncId.
+    Seq,  ///< Child position in the enclosing node list; Id = index.
+    Code, ///< A Code node whose block just executed (leaf).
+    Loop, ///< Inside a loop; Trip/Iter pin the iteration.
+    If,   ///< Inside an if; Flag = then-branch taken (StepBody only).
+    Call, ///< At a call site; Id = chosen callee (StepBody only).
+  };
+
+  // Sub-steps: where inside the construct the boundary block was.
+  // clang-format off
+  static constexpr uint8_t StepEntry  = 0; ///< Func: entry block done.
+  static constexpr uint8_t StepBody   = 1; ///< Func/Loop/If/Call: in children.
+  static constexpr uint8_t StepExit   = 2; ///< Func: exit block done.
+  static constexpr uint8_t StepHeader = 0; ///< Loop: header block done.
+  static constexpr uint8_t StepLatch  = 2; ///< Loop: latch block done,
+                                           ///  backward branch not yet emitted.
+  static constexpr uint8_t StepCond   = 0; ///< If: cond block done, outcome
+                                           ///  not yet drawn.
+  static constexpr uint8_t StepSite   = 0; ///< Call: site block done, callee
+                                           ///  not yet drawn.
+  // clang-format on
+
+  Kind K = Kind::Func;
+  uint8_t Step = 0;
+  uint32_t Id = 0;   ///< Func: FuncId; Call: callee; Seq: child index.
+  uint64_t Trip = 0; ///< Loop: trip count drawn at entry.
+  uint64_t Iter = 0; ///< Loop: current iteration (0-based).
+  bool Flag = false; ///< If: TakeThen outcome.
+
+  bool operator==(const ResumeFrame &O) const {
+    return K == O.K && Step == O.Step && Id == O.Id && Trip == O.Trip &&
+           Iter == O.Iter && Flag == O.Flag;
+  }
+};
+
+/// Snapshot of complete interpreter state at a block boundary.
+struct InterpCheckpoint {
+  /// Cumulative totals up to the boundary. HitInstrLimit refers to the
+  /// segment that produced the checkpoint, not the logical whole run.
+  uint64_t TotalInstrs = 0;
+  uint64_t TotalBlocks = 0;
+  uint64_t TotalMemAccesses = 0;
+
+  RngState Rand; ///< Control-flow RNG (trips, conds, callees).
+  std::vector<uint64_t> SeqPos;      ///< Per mem site sequential cursor.
+  std::vector<uint64_t> ChaseState;  ///< Per mem site chase LCG state.
+  std::vector<uint64_t> RandState;   ///< Per mem site SplitMix counter.
+  std::vector<uint64_t> SchedCursor; ///< Per trip site schedule cursor.
+  std::vector<uint64_t> CondCounter; ///< Per cond site periodic counter.
+  std::vector<uint64_t> RRCursor;    ///< Per call site round-robin cursor.
+
+  /// Suspended position, outermost-first. Empty with Finished=false means
+  /// "not started"; empty with Finished=true means the program completed.
+  std::vector<ResumeFrame> Frames;
+  bool Finished = false;
+
+  /// Structurally validates the frame stack against \p B: every frame kind
+  /// must match the exec-tree node it addresses, indices must be in range,
+  /// loop iterations below their trips, and call nesting below the depth
+  /// cap. Deserialized checkpoints must pass this before resuming (the
+  /// resume walk itself indexes by the recorded values). Per-site vector
+  /// sizes are checked too. Returns false and fills \p Error on mismatch.
+  bool validateFor(const Binary &B, std::string *Error = nullptr) const;
+};
+
+} // namespace spm
+
+#endif // SPM_VM_CHECKPOINT_H

@@ -2,6 +2,7 @@
 
 #include "callloop/Profile.h"
 #include "ir/Lowering.h"
+#include "markers/Checkpoint.h"
 #include "markers/Selector.h"
 #include "markers/Serialize.h"
 #include "workloads/Workloads.h"
@@ -117,4 +118,96 @@ TEST(Serialize, RealSelectionRoundTripsThroughText) {
     EXPECT_EQ(Back[I].To, Sel.Markers[I].To);
     EXPECT_EQ(Back[I].GroupN, Sel.Markers[I].GroupN);
   }
+}
+
+TEST(Serialize, RejectsWrongVersionHeader) {
+  std::string Err;
+  EXPECT_FALSE(
+      parseMarkers("spm-markers v2\npbody main phead deflate 1\n", &Err)
+          .has_value());
+  EXPECT_FALSE(Err.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint binary format: same strictness guarantees as the text formats
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+PipelineCheckpoint sampleCheckpoint() {
+  PipelineCheckpoint C;
+  C.Seed = 1234;
+  C.Interp.TotalInstrs = 777;
+  C.Interp.SeqPos = {4, 5};
+  ResumeFrame F;
+  F.K = ResumeFrame::Kind::Func;
+  F.Step = ResumeFrame::StepBody;
+  C.Interp.Frames.push_back(F);
+  C.HasPerf = true;
+  C.Perf.DL1.Tags = {9, 9, 9};
+  C.Perf.DL1.Stamps = {1, 2, 3};
+  C.Perf.Bp.Counters = {0, 1, 2, 3};
+  return C;
+}
+
+} // namespace
+
+TEST(SerializeCheckpoint, RejectsEveryTruncation) {
+  std::string Bytes = serializeCheckpoint(sampleCheckpoint());
+  for (size_t Len = 0; Len < Bytes.size(); ++Len) {
+    std::string Err;
+    EXPECT_FALSE(parseCheckpoint(Bytes.substr(0, Len), &Err).has_value())
+        << "prefix " << Len;
+    EXPECT_FALSE(Err.empty()) << "prefix " << Len;
+  }
+  EXPECT_TRUE(parseCheckpoint(Bytes).has_value());
+}
+
+TEST(SerializeCheckpoint, RejectsCorruptMagicAndVersion) {
+  std::string Bytes = serializeCheckpoint(sampleCheckpoint());
+  {
+    std::string Bad = Bytes;
+    Bad[3] ^= 0x40;
+    std::string Err;
+    EXPECT_FALSE(parseCheckpoint(Bad, &Err).has_value());
+    EXPECT_NE(Err.find("magic"), std::string::npos) << Err;
+  }
+  {
+    std::string Bad = Bytes;
+    Bad[8] = 0x7f; // Version field (LE u32 right after the magic).
+    std::string Err;
+    EXPECT_FALSE(parseCheckpoint(Bad, &Err).has_value());
+    EXPECT_NE(Err.find("version"), std::string::npos) << Err;
+  }
+}
+
+TEST(SerializeCheckpoint, RejectsTrailingBytesAndInsaneCounts) {
+  std::string Bytes = serializeCheckpoint(sampleCheckpoint());
+  {
+    std::string Err;
+    EXPECT_FALSE(parseCheckpoint(Bytes + "x", &Err).has_value());
+    EXPECT_NE(Err.find("trailing"), std::string::npos) << Err;
+  }
+  {
+    // Blow up the SeqPos length prefix (first vector after the fixed
+    // 85-byte scalar prelude) to an impossible element count; the sanity
+    // cap must reject it without attempting the allocation.
+    std::string Bad = Bytes;
+    constexpr size_t SeqPosCountOff = 8 + 4 + 8 + 24 + 32 + 8 + 1;
+    for (int I = 0; I < 8; ++I)
+      Bad[SeqPosCountOff + I] = static_cast<char>(0xff);
+    std::string Err;
+    EXPECT_FALSE(parseCheckpoint(Bad, &Err).has_value());
+    EXPECT_NE(Err.find("sanity cap"), std::string::npos) << Err;
+  }
+}
+
+TEST(SerializeCheckpoint, BinaryRoundTripIsBitExact) {
+  PipelineCheckpoint C = sampleCheckpoint();
+  std::string Bytes = serializeCheckpoint(C);
+  std::string Err;
+  auto P = parseCheckpoint(Bytes, &Err);
+  ASSERT_TRUE(P.has_value()) << Err;
+  // Re-serializing the parsed checkpoint reproduces the exact bytes.
+  EXPECT_EQ(Bytes, serializeCheckpoint(*P));
 }

@@ -26,6 +26,7 @@
 #include "markers/Pipeline.h"
 #include "markers/Selector.h"
 #include "markers/Serialize.h"
+#include "markers/Sharded.h"
 #include "phase/Metrics.h"
 #include "support/Parallel.h"
 #include "support/Table.h"
@@ -62,7 +63,8 @@ int usage() {
       "        SPM_JOBS is the environment fallback)\n"
       "bench --profile measures per-stage event throughput of the legacy\n"
       "per-event engine vs the batched engine; JSON lands in\n"
-      "BENCH_engine.json unless -o overrides it\n");
+      "BENCH_engine.json unless -o overrides it; the sharded-execution\n"
+      "stage additionally writes BENCH_shard.json\n");
   return 2;
 }
 
@@ -352,6 +354,16 @@ int cmdBenchProfile(const CommonArgs &A) {
   double LegacyS[NumStages] = {}, EngineS[NumStages] = {};
   uint64_t TotalEvents = 0;
 
+  // Sharded-execution stage: the full marker pipeline through
+  // runMarkerIntervalsSharded. On a single-CPU container there is no
+  // speedup to claim, so what is recorded is parity (byte-identical output
+  // is enforced by the "shard" ctest label), the shards=1 wrapper overhead
+  // against the plain runFast driver, and per-shard wall times.
+  constexpr unsigned ShardN = 4;
+  double ShardBaseS = 0.0, Shard1S = 0.0, ShardNSumS = 0.0;
+  std::string ShardDetail;
+  char Buf0[256];
+
   auto timeBest = [&](auto &&Fn) {
     double Best = 1e300;
     for (int R = 0; R < Reps; ++R) {
@@ -468,6 +480,40 @@ int cmdBenchProfile(const CommonArgs &A) {
       Interpreter I(*Bin, In);
       I.runFast(Perf, Cap);
     });
+
+    double WlBase = timeBest([&] {
+      runMarkerIntervals(*Bin, Loops, *G, Sel.Markers, In,
+                         /*CollectBbv=*/false, /*RecordFirings=*/false, Cap);
+    });
+    double Wl1 = timeBest([&] {
+      runMarkerIntervalsSharded(*Bin, Loops, *G, Sel.Markers, In,
+                                /*CollectBbv=*/false,
+                                /*RecordFirings=*/false, /*NShards=*/1, Cap);
+    });
+    std::vector<double> PerShard;
+    double WlN = timeBest([&] {
+      PerShard.clear();
+      runMarkerIntervalsSharded(*Bin, Loops, *G, Sel.Markers, In,
+                                /*CollectBbv=*/false,
+                                /*RecordFirings=*/false, ShardN, Cap,
+                                PerfModelOptions(), &PerShard);
+    });
+    ShardBaseS += WlBase;
+    Shard1S += Wl1;
+    ShardNSumS += WlN;
+
+    std::snprintf(Buf0, sizeof(Buf0),
+                  "    {\"name\": \"%s\", \"base_s\": %.6f, "
+                  "\"shards1_s\": %.6f, \"shards%u_s\": %.6f, "
+                  "\"per_shard_s\": [",
+                  Name.c_str(), WlBase, Wl1, ShardN, WlN);
+    ShardDetail += ShardDetail.empty() ? Buf0 : (std::string(",\n") + Buf0);
+    for (size_t S = 0; S < PerShard.size(); ++S) {
+      std::snprintf(Buf0, sizeof(Buf0), "%s%.6f", S ? ", " : "",
+                    PerShard[S]);
+      ShardDetail += Buf0;
+    }
+    ShardDetail += "]}";
   }
 
   Table T;
@@ -516,6 +562,36 @@ int cmdBenchProfile(const CommonArgs &A) {
     return 1;
   }
   std::fprintf(stderr, "wrote %s\n", OutPath.c_str());
+
+  // Shard-stage summary + BENCH_shard.json.
+  double Overhead1 = ShardBaseS > 0.0 ? Shard1S / ShardBaseS - 1.0 : 0.0;
+  std::printf("\nshard stage (marker pipeline, %u-way):\n", ShardN);
+  std::printf("  runFast baseline  %.3fs\n", ShardBaseS);
+  std::printf("  shards=1          %.3fs  (overhead %+.1f%%)\n", Shard1S,
+              Overhead1 * 100.0);
+  std::printf("  shards=%u          %.3fs  (plan + warm + %u shards, jobs=%u)\n",
+              ShardN, ShardNSumS, ShardN, parallelJobs());
+
+  std::string SJson = "{\n  \"bench\": \"shard-profile\",\n";
+  std::snprintf(Buf0, sizeof(Buf0),
+                "  \"cap_instrs\": %llu,\n  \"reps\": %d,\n"
+                "  \"jobs\": %u,\n  \"shards\": %u,\n",
+                static_cast<unsigned long long>(Cap), Reps, parallelJobs(),
+                ShardN);
+  SJson += Buf0;
+  std::snprintf(Buf0, sizeof(Buf0),
+                "  \"base_s\": %.6f,\n  \"shards1_s\": %.6f,\n"
+                "  \"shards1_overhead\": %.4f,\n  \"shardsN_s\": %.6f,\n",
+                ShardBaseS, Shard1S, Overhead1, ShardNSumS);
+  SJson += Buf0;
+  SJson += "  \"parity\": \"outputs byte-identical to runFast for every "
+           "shard count (ctest -L shard)\",\n";
+  SJson += "  \"workloads\": [\n" + ShardDetail + "\n  ]\n}\n";
+  if (!writeOutput("BENCH_shard.json", SJson)) {
+    std::fprintf(stderr, "bench: cannot write BENCH_shard.json\n");
+    return 1;
+  }
+  std::fprintf(stderr, "wrote BENCH_shard.json\n");
   return 0;
 }
 
