@@ -50,6 +50,7 @@ buildCallLoopGraph(const Binary &B, const LoopIndex &Loops,
                    const WorkloadInput &In,
                    uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max(),
                    ExecutionObserver *Extra = nullptr) {
+  SPM_TRACE_SPAN("pipeline.build_graph");
   auto G = std::make_unique<CallLoopGraph>(B, Loops);
   CallLoopTracker Tracker(B, Loops, *G);
   Tracker.setProfileTarget(G.get());

@@ -3,6 +3,8 @@
 #include "markers/Checkpoint.h"
 
 #include "support/Bytes.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 using namespace spm;
 
@@ -66,6 +68,10 @@ bool getBool(ByteReader &R) {
 } // namespace
 
 std::string spm::serializeCheckpoint(const PipelineCheckpoint &C) {
+  SPM_TRACE_SPAN("ckpt.serialize");
+  std::optional<ScopedMetricTimer> Timer;
+  if (spmTraceEnabled())
+    Timer.emplace("ckpt.serialize_s");
   ByteWriter W;
   W.bytes(Magic, sizeof(Magic));
   W.u32(PipelineCheckpoint::Version);
@@ -146,11 +152,23 @@ std::string spm::serializeCheckpoint(const PipelineCheckpoint &C) {
     W.u64(C.Markers.Fired);
   }
 
-  return W.take();
+  std::string Out = W.take();
+  if (spmTraceEnabled()) {
+    metrics().counter("ckpt.serialized").forceAdd(1);
+    metrics().counter("ckpt.bytes_written").forceAdd(Out.size());
+  }
+  return Out;
 }
 
 std::optional<PipelineCheckpoint>
 spm::parseCheckpoint(const std::string &Data, std::string *Error) {
+  SPM_TRACE_SPAN("ckpt.parse");
+  std::optional<ScopedMetricTimer> Timer;
+  if (spmTraceEnabled()) {
+    Timer.emplace("ckpt.parse_s");
+    metrics().counter("ckpt.parsed").forceAdd(1);
+    metrics().counter("ckpt.bytes_read").forceAdd(Data.size());
+  }
   auto Fail = [&](const std::string &Why) {
     if (Error)
       *Error = Why;

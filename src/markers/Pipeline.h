@@ -44,6 +44,7 @@ runFixedIntervals(const Binary &B, const WorkloadInput &In, uint64_t Len,
                   bool CollectBbv,
                   uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max(),
                   const PerfModelOptions &PerfOpts = PerfModelOptions()) {
+  SPM_TRACE_SPAN("pipeline.fixed_intervals");
   PerfModel Perf(PerfOpts);
   IntervalBuilder Ivb = IntervalBuilder::fixedLength(Len, &Perf, CollectBbv);
   StaticMux<IntervalBuilder, PerfModel> Mux(Ivb, Perf);
@@ -61,6 +62,7 @@ runMarkerIntervals(const Binary &B, const LoopIndex &Loops,
                    bool RecordFirings = false,
                    uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max(),
                    const PerfModelOptions &PerfOpts = PerfModelOptions()) {
+  SPM_TRACE_SPAN("pipeline.marker_intervals");
   MarkerRun Out;
   PerfModel Perf(PerfOpts);
   IntervalBuilder Ivb = IntervalBuilder::markerDriven(&Perf, CollectBbv);

@@ -23,6 +23,7 @@
 
 #include "callloop/Tracker.h"
 #include "markers/MarkerSet.h"
+#include "support/Metrics.h"
 
 #include <functional>
 #include <vector>
@@ -100,6 +101,11 @@ public:
     if (Mk.GroupN > 1 && (GroupCounter[Idx]++ % Mk.GroupN) != 0)
       return;
     ++Fired;
+    if (spmTraceEnabled()) {
+      // Interned once; firings are the hottest metric site in the stack.
+      static MetricCounter &C = metrics().counter("markers.fired");
+      C.forceAdd(1);
+    }
     if (Callback)
       Callback(Idx);
   }

@@ -2,7 +2,9 @@
 
 #include "markers/Selector.h"
 
+#include "support/Metrics.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cmath>
@@ -135,6 +137,12 @@ private:
     Result.NumCandidates = Candidates.size();
     Result.AvgCandidateCov = CovStat.mean();
     Result.StddevCandidateCov = CovStat.stddev();
+    if (spmTraceEnabled()) {
+      MetricsRegistry &M = metrics();
+      M.counter("select.pass1_candidates").forceAdd(Candidates.size());
+      M.gauge("select.cov_avg").forceSet(Result.AvgCandidateCov);
+      M.gauge("select.cov_stddev").forceSet(Result.StddevCandidateCov);
+    }
   }
 
   /// The per-edge CoV threshold: between avg(CoV) and avg(CoV)+stddev(CoV)
@@ -163,6 +171,12 @@ private:
     M.GroupN = GroupN;
     M.ExpectedLen = E->Hier.mean() * GroupN;
     Result.Markers.add(M);
+    if (spmTraceEnabled()) {
+      // Interned once: acceptance/rejection run per candidate edge, and
+      // the registry lookup must stay off that path when tracing is off.
+      static MetricCounter &C = metrics().counter("select.markers_accepted");
+      C.forceAdd(1);
+    }
   }
 
   /// Average iterations per entry for a loop-head node.
@@ -240,8 +254,12 @@ private:
 
         double A = E->Hier.mean();
         if (A >= static_cast<double>(Config.ILower)) {
-          if (E->Hier.cov() <= covThreshold(E))
+          if (E->Hier.cov() <= covThreshold(E)) {
             addMarker(E, 1);
+          } else if (spmTraceEnabled()) {
+            static MetricCounter &C = metrics().counter("select.cov_rejected");
+            C.forceAdd(1);
+          }
           continue;
         }
 
@@ -269,5 +287,6 @@ SelectionResult spm::selectMarkers(const CallLoopGraph &G,
   assert(G.finalized() && "selector requires a finalized graph");
   assert((!Config.Limit || Config.MaxLimit >= Config.ILower) &&
          "max-limit below ilower");
+  SPM_TRACE_SPAN("select.markers");
   return Selection(G, Config).run();
 }

@@ -47,7 +47,9 @@
 #include "callloop/Profile.h"
 #include "markers/Checkpoint.h"
 #include "markers/Pipeline.h"
+#include "support/Metrics.h"
 #include "support/Parallel.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <chrono>
@@ -88,6 +90,7 @@ inline ShardPlan
 planShards(const Binary &B, const WorkloadInput &In, unsigned NShards,
            uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max()) {
   assert(NShards >= 1 && "need at least one shard");
+  SPM_TRACE_SPAN("shard.plan");
   struct NullObs {};
   NullObs O;
   Interpreter Interp(B, In);
@@ -132,6 +135,7 @@ inline std::unique_ptr<CallLoopGraph> buildCallLoopGraphSharded(
   // Warm: interpreter + bare tracker (no listeners, no profile target).
   std::vector<PipelineCheckpoint> Cks(NShards - 1);
   {
+    SPM_TRACE_SPAN("shard.warm");
     Interpreter Interp(B, In);
     CallLoopTracker Tracker(B, Loops, *G);
     Tracker.onRunStart(B, In);
@@ -152,6 +156,8 @@ inline std::unique_ptr<CallLoopGraph> buildCallLoopGraphSharded(
   };
   std::vector<std::unique_ptr<Out>> Outs =
       parallelMap(NShards, [&](size_t S) {
+        SPM_TRACE_SPAN("shard.exec");
+        metrics().counter("shard.runs").add(1);
         auto T0 = std::chrono::steady_clock::now();
         auto O = std::make_unique<Out>();
         Interpreter Interp(B, In);
@@ -179,13 +185,16 @@ inline std::unique_ptr<CallLoopGraph> buildCallLoopGraphSharded(
   // Merge: replay the logs in shard order — the concatenation is the exact
   // traversal-end order of the uninterrupted run, so the Welford updates
   // happen in the same sequence on the same values.
-  for (const auto &O : Outs) {
-    for (const TraversalLog::Entry &E : O->Log)
-      G->addTraversal(E.From, E.To, E.Hier);
-    if (ShardSeconds)
-      ShardSeconds->push_back(O->Sec);
+  {
+    SPM_TRACE_SPAN("shard.merge");
+    for (const auto &O : Outs) {
+      for (const TraversalLog::Entry &E : O->Log)
+        G->addTraversal(E.From, E.To, E.Hier);
+      if (ShardSeconds)
+        ShardSeconds->push_back(O->Sec);
+    }
+    G->finalize();
   }
-  G->finalize();
   return G;
 }
 
@@ -214,6 +223,7 @@ inline MarkerRun runMarkerIntervalsSharded(
   // checkpoints are kept.
   std::vector<PipelineCheckpoint> Cks(NShards - 1);
   {
+    SPM_TRACE_SPAN("shard.warm");
     PerfModel Perf(PerfOpts);
     IntervalBuilder Ivb = IntervalBuilder::markerDriven(&Perf, CollectBbv);
     CallLoopTracker Tracker(B, Loops, G);
@@ -249,6 +259,8 @@ inline MarkerRun runMarkerIntervalsSharded(
   };
   std::vector<std::unique_ptr<Out>> Outs =
       parallelMap(NShards, [&](size_t S) {
+        SPM_TRACE_SPAN("shard.exec");
+        metrics().counter("shard.runs").add(1);
         auto T0 = std::chrono::steady_clock::now();
         auto O = std::make_unique<Out>();
         PerfModel Perf(PerfOpts);
@@ -285,6 +297,7 @@ inline MarkerRun runMarkerIntervalsSharded(
         return O;
       });
 
+  SPM_TRACE_SPAN("shard.merge");
   MarkerRun Out;
   Out.Run = Outs.back()->R; // Cumulative totals; limit flag of the final
                             // segment, whose budget is the original cap.
@@ -320,6 +333,7 @@ inline std::vector<IntervalRecord> runFixedIntervalsSharded(
 
   std::vector<PipelineCheckpoint> Cks(NShards - 1);
   {
+    SPM_TRACE_SPAN("shard.warm");
     PerfModel Perf(PerfOpts);
     IntervalBuilder Ivb = IntervalBuilder::fixedLength(Len, &Perf,
                                                        CollectBbv);
@@ -344,6 +358,8 @@ inline std::vector<IntervalRecord> runFixedIntervalsSharded(
   };
   std::vector<std::unique_ptr<Out>> Outs =
       parallelMap(NShards, [&](size_t S) {
+        SPM_TRACE_SPAN("shard.exec");
+        metrics().counter("shard.runs").add(1);
         auto T0 = std::chrono::steady_clock::now();
         auto O = std::make_unique<Out>();
         PerfModel Perf(PerfOpts);
@@ -370,6 +386,7 @@ inline std::vector<IntervalRecord> runFixedIntervalsSharded(
         return O;
       });
 
+  SPM_TRACE_SPAN("shard.merge");
   std::vector<IntervalRecord> Merged;
   for (auto &O : Outs) {
     Merged.insert(Merged.end(), std::make_move_iterator(O->Iv.begin()),

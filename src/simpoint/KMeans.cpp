@@ -2,7 +2,9 @@
 
 #include "simpoint/KMeans.h"
 
+#include "support/Metrics.h"
 #include "support/Parallel.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <cmath>
@@ -82,7 +84,9 @@ KMeansResult lloydOnce(const std::vector<std::vector<double>> &Pts,
   R.Centroids = seedPlusPlus(Pts, W, K, Rand);
   R.Assign.assign(N, -1);
 
+  int ItersRun = 0;
   for (int Iter = 0; Iter < MaxIters; ++Iter) {
+    ItersRun = Iter + 1;
     bool Changed = false;
     // Assignment step.
     for (size_t I = 0; I < N; ++I) {
@@ -124,6 +128,13 @@ KMeansResult lloydOnce(const std::vector<std::vector<double>> &Pts,
   for (size_t I = 0; I < N; ++I)
     R.Distortion +=
         W[I] * sqDist(Pts[I], R.Centroids[static_cast<uint32_t>(R.Assign[I])]);
+
+  if (spmTraceEnabled()) {
+    MetricsRegistry &M = metrics();
+    M.counter("simpoint.restarts").forceAdd(1);
+    M.histogram("simpoint.kmeans_iters").forceRecord(ItersRun);
+    M.histogram("simpoint.kmeans_inertia").forceRecord(R.Distortion);
+  }
   return R;
 }
 
@@ -156,6 +167,7 @@ KMeansResult spm::kmeansCluster(const std::vector<std::vector<double>> &Pts,
   assert(!Pts.empty() && "clustering requires points");
   assert(Pts.size() == W.size() && "one weight per point");
   assert(K >= 1 && "k must be positive");
+  SPM_TRACE_SPAN("simpoint.kmeans");
   if (K > Pts.size())
     K = static_cast<uint32_t>(Pts.size());
 

@@ -1,0 +1,209 @@
+//===- support/Metrics.cpp ------------------------------------------------==//
+
+#include "support/Metrics.h"
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+using namespace spm;
+
+MetricsRegistry &MetricsRegistry::instance() {
+  static MetricsRegistry *R = new MetricsRegistry; // Leaked: outlives threads.
+  return *R;
+}
+
+namespace {
+
+/// Linear intern: registries hold tens of metrics, and hot sites cache the
+/// returned reference, so lookup cost is irrelevant.
+template <class VecT, class T = typename VecT::value_type::second_type>
+auto &findOrCreate(VecT &Vec, const std::string &Name) {
+  for (auto &Entry : Vec)
+    if (Entry.first == Name)
+      return *Entry.second;
+  Vec.emplace_back(Name, std::make_unique<typename T::element_type>());
+  return *Vec.back().second;
+}
+
+} // namespace
+
+MetricCounter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return findOrCreate(Counters, Name);
+}
+
+MetricGauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return findOrCreate(Gauges, Name);
+}
+
+MetricHistogram &MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return findOrCreate(Histograms, Name);
+}
+
+uint64_t MetricsRegistry::counterValue(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &Entry : Counters)
+    if (Entry.first == Name)
+      return Entry.second->value();
+  return 0;
+}
+
+void MetricsRegistry::resetAll() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &E : Counters)
+    E.second->reset();
+  for (auto &E : Gauges)
+    E.second->reset();
+  for (auto &E : Histograms)
+    E.second->reset();
+}
+
+namespace {
+
+/// JSON-escapes a metric name (names are plain identifiers in practice).
+std::string jsonName(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string fmtDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  return Buf;
+}
+
+/// One row per live metric, sorted by name across all three kinds.
+struct Row {
+  std::string Name;
+  std::string Kind;
+  std::string Json;  ///< The object's payload fields after "type".
+  std::vector<std::string> TextCells;
+};
+
+} // namespace
+
+std::string MetricsRegistry::toJsonl() const {
+  std::vector<Row> Rows;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (const auto &E : Counters) {
+      uint64_t V = E.second->value();
+      if (V == 0)
+        continue;
+      Row R;
+      R.Name = E.first;
+      R.Kind = "counter";
+      R.Json = "\"value\": " + std::to_string(V);
+      Rows.push_back(std::move(R));
+    }
+    for (const auto &E : Gauges) {
+      if (!E.second->seen())
+        continue;
+      Row R;
+      R.Name = E.first;
+      R.Kind = "gauge";
+      R.Json = "\"value\": " + fmtDouble(E.second->value()) +
+               ", \"max\": " + fmtDouble(E.second->max());
+      Rows.push_back(std::move(R));
+    }
+    for (const auto &E : Histograms) {
+      RunningStat S = E.second->snapshot();
+      if (S.count() == 0)
+        continue;
+      Row R;
+      R.Name = E.first;
+      R.Kind = "histogram";
+      R.Json = "\"count\": " + std::to_string(S.count()) +
+               ", \"mean\": " + fmtDouble(S.mean()) +
+               ", \"stddev\": " + fmtDouble(S.stddev()) +
+               ", \"min\": " + fmtDouble(S.min()) +
+               ", \"max\": " + fmtDouble(S.max()) +
+               ", \"sum\": " + fmtDouble(S.sum());
+      Rows.push_back(std::move(R));
+    }
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const Row &A, const Row &B) { return A.Name < B.Name; });
+  std::string Out;
+  for (const Row &R : Rows)
+    Out += "{\"name\": " + jsonName(R.Name) + ", \"type\": \"" + R.Kind +
+           "\", " + R.Json + "}\n";
+  return Out;
+}
+
+std::string MetricsRegistry::toText() const {
+  std::vector<Row> Rows;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (const auto &E : Counters) {
+      uint64_t V = E.second->value();
+      if (V == 0)
+        continue;
+      Rows.push_back(
+          {E.first, "counter", "", {std::to_string(V), "", "", "", ""}});
+    }
+    for (const auto &E : Gauges) {
+      if (!E.second->seen())
+        continue;
+      Rows.push_back({E.first,
+                      "gauge",
+                      "",
+                      {fmtDouble(E.second->value()), "", "", "",
+                       fmtDouble(E.second->max())}});
+    }
+    for (const auto &E : Histograms) {
+      RunningStat S = E.second->snapshot();
+      if (S.count() == 0)
+        continue;
+      Rows.push_back({E.first,
+                      "histogram",
+                      "",
+                      {std::to_string(S.count()), fmtDouble(S.mean()),
+                       fmtDouble(S.stddev()), fmtDouble(S.min()),
+                       fmtDouble(S.max())}});
+    }
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const Row &A, const Row &B) { return A.Name < B.Name; });
+
+  Table T;
+  T.row()
+      .cell("metric")
+      .cell("type")
+      .cell("value/count")
+      .cell("mean")
+      .cell("stddev")
+      .cell("min")
+      .cell("max");
+  for (const Row &R : Rows) {
+    T.row().cell(R.Name).cell(R.Kind);
+    for (const std::string &C : R.TextCells)
+      T.cell(C);
+  }
+  return T.str();
+}
+
+ScopedMetricTimer::ScopedMetricTimer(const char *Name)
+    : Name(Name),
+      StartNs(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count()) {}
+
+ScopedMetricTimer::~ScopedMetricTimer() {
+  uint64_t EndNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  metrics().histogram(Name).forceRecord(static_cast<double>(EndNs - StartNs) /
+                                        1e9);
+}

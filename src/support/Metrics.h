@@ -1,0 +1,210 @@
+//===- support/Metrics.h - Process-wide metrics registry --------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the spmtrace observability layer (the span half is
+/// Trace.h): named monotonic counters, gauges, and histograms (Welford, via
+/// Stats.h RunningStat) in one process-wide registry, exported as JSONL or
+/// an aligned text table. See docs/observability.md.
+///
+/// Two kinds of call sites, with different gating:
+///
+///   - Implicit pipeline instrumentation (interpreter totals, shard counts,
+///     marker firings, k-means restarts, ...) uses the gated mutators
+///     add()/set()/record(): no-ops unless the spmtrace runtime switch is
+///     on (Trace.h spmTraceSetEnabled). In SPM_TRACE=OFF builds
+///     spmTraceEnabled() is constexpr-false, so these mutators compile to
+///     nothing — same zero-overhead story as TraceSpan.
+///   - Explicit harness recording (bench --profile stage timers, CLI
+///     summaries) uses the force* mutators, which record in every build
+///     configuration — a handful of calls per process, never on a hot
+///     path — so the stage table and its JSON exist even with the layer
+///     compiled out or switched off.
+///
+/// Counters are std::atomic and exact across threads: sites increment at
+/// run/flush/shard granularity (never per interpreter event), so the exact
+/// totals asserted in tests/observability_test cost nothing measurable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_SUPPORT_METRICS_H
+#define SPM_SUPPORT_METRICS_H
+
+#include "support/Stats.h"
+#include "support/Trace.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spm {
+
+/// Monotonic event counter.
+class MetricCounter {
+public:
+  /// Gated add: counts only while the spmtrace runtime switch is on.
+  void add(uint64_t N) {
+    if (spmTraceEnabled())
+      V.fetch_add(N, std::memory_order_relaxed);
+  }
+  /// Ungated add for explicit harness accounting.
+  void forceAdd(uint64_t N) { V.fetch_add(N, std::memory_order_relaxed); }
+
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-value-wins gauge (also tracks the maximum ever set, for
+/// high-watermark readings like queue depth).
+class MetricGauge {
+public:
+  void set(double X) {
+    if (spmTraceEnabled())
+      forceSet(X);
+  }
+  void forceSet(double X) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Val = X;
+    if (!Seen || X > MaxVal)
+      MaxVal = X;
+    Seen = true;
+  }
+  /// Raises the high watermark to \p X if larger (gated).
+  void setMax(double X) {
+    if (!spmTraceEnabled())
+      return;
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!Seen || X > MaxVal)
+      MaxVal = X;
+    if (!Seen)
+      Val = X;
+    Seen = true;
+  }
+
+  double value() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Val;
+  }
+  double max() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return MaxVal;
+  }
+  bool seen() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Seen;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Val = MaxVal = 0.0;
+    Seen = false;
+  }
+
+private:
+  mutable std::mutex Mu;
+  double Val = 0.0;
+  double MaxVal = 0.0;
+  bool Seen = false;
+};
+
+/// Streaming histogram: count/mean/stddev/min/max via RunningStat. Mutex-
+/// guarded — record sites run at restart/shard/checkpoint granularity.
+class MetricHistogram {
+public:
+  void record(double X) {
+    if (spmTraceEnabled())
+      forceRecord(X);
+  }
+  void forceRecord(double X) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    S.add(X);
+  }
+
+  RunningStat snapshot() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return S;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    S = RunningStat();
+  }
+
+private:
+  mutable std::mutex Mu;
+  RunningStat S;
+};
+
+/// The process-wide registry. Lookup interns the name under a mutex and
+/// returns a reference stable for the process lifetime — hot sites look up
+/// once (function-local static reference) and then touch only the entry.
+/// Exists in every build configuration; only the gated mutators above
+/// compile out.
+class MetricsRegistry {
+public:
+  static MetricsRegistry &instance();
+
+  MetricCounter &counter(const std::string &Name);
+  MetricGauge &gauge(const std::string &Name);
+  MetricHistogram &histogram(const std::string &Name);
+
+  /// One JSON object per line, sorted by name:
+  ///   {"name":"vm.instrs_retired","type":"counter","value":123}
+  ///   {"name":"pool.task_s","type":"histogram","count":8,"mean":...,
+  ///    "stddev":...,"min":...,"max":...,"sum":...}
+  /// Zero counters, unset gauges, and empty histograms are skipped, so the
+  /// dump reflects what actually ran.
+  std::string toJsonl() const;
+
+  /// Aligned human-readable table of the same content.
+  std::string toText() const;
+
+  /// Zeros every registered metric (names stay interned). Test isolation
+  /// and multi-phase drivers.
+  void resetAll();
+
+  /// Reads a counter by name without creating it (0 when absent).
+  uint64_t counterValue(const std::string &Name) const;
+
+private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex Mu;
+  std::vector<std::pair<std::string, std::unique_ptr<MetricCounter>>>
+      Counters;
+  std::vector<std::pair<std::string, std::unique_ptr<MetricGauge>>> Gauges;
+  std::vector<std::pair<std::string, std::unique_ptr<MetricHistogram>>>
+      Histograms;
+};
+
+/// Shorthand for MetricsRegistry::instance().
+inline MetricsRegistry &metrics() { return MetricsRegistry::instance(); }
+
+/// RAII wall-clock timer recording seconds into histogram \p Name at scope
+/// exit (force-recorded: works in every configuration, including during
+/// stack unwinding — this is what keeps bench --profile's JSON valid when
+/// a stage throws). Harness/stage instrumentation only; pairs with a
+/// TraceSpan for the timeline view.
+class ScopedMetricTimer {
+public:
+  explicit ScopedMetricTimer(const char *Name);
+  ~ScopedMetricTimer();
+  ScopedMetricTimer(const ScopedMetricTimer &) = delete;
+  ScopedMetricTimer &operator=(const ScopedMetricTimer &) = delete;
+
+private:
+  const char *Name;
+  uint64_t StartNs;
+};
+
+} // namespace spm
+
+#endif // SPM_SUPPORT_METRICS_H

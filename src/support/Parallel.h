@@ -29,7 +29,9 @@
 #ifndef SPM_SUPPORT_PARALLEL_H
 #define SPM_SUPPORT_PARALLEL_H
 
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <cstddef>
@@ -44,6 +46,12 @@ namespace spm {
 /// bodies must not depend on execution order — write to per-index state.
 template <typename BodyFn>
 void parallelFor(size_t N, BodyFn &&Body, int Jobs = -1) {
+  // The span covers submit-to-drain on the calling thread; each claimed
+  // batch shows up as a "pool.task" span on its worker's timeline row,
+  // which is how fan-out parents visually in the Chrome trace view.
+  SPM_TRACE_SPAN("parallel.for");
+  if (spmTraceEnabled())
+    metrics().counter("parallel.loops").forceAdd(1);
   unsigned J = Jobs < 0 ? parallelJobs() : resolveJobs(Jobs);
   if (J > N)
     J = static_cast<unsigned>(N);

@@ -2,6 +2,9 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <cstdlib>
 
 using namespace spm;
@@ -37,10 +40,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> Task) {
+  size_t Depth;
   {
     std::lock_guard<std::mutex> Lock(Mu);
     Queue.push_back(std::move(Task));
     ++InFlight;
+    Depth = Queue.size();
+  }
+  if (spmTraceEnabled()) {
+    MetricsRegistry &M = metrics();
+    M.counter("pool.tasks_submitted").forceAdd(1);
+    M.gauge("pool.queue_depth").forceSet(static_cast<double>(Depth));
   }
   TaskReady.notify_one();
 }
@@ -70,7 +80,15 @@ void ThreadPool::workerLoop() {
       Queue.pop_front();
     }
     try {
-      Task();
+      SPM_TRACE_SPAN("pool.task");
+      if (spmTraceEnabled()) {
+        // Per-worker utilization: wall seconds spent inside tasks, one
+        // histogram sample per task. Workers idle-waiting record nothing.
+        ScopedMetricTimer Busy("pool.task_s");
+        Task();
+      } else {
+        Task();
+      }
     } catch (...) {
       std::lock_guard<std::mutex> Lock(Mu);
       if (!FirstError)

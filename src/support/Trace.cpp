@@ -1,0 +1,195 @@
+//===- support/Trace.cpp --------------------------------------------------==//
+
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+using namespace spm;
+
+#if SPM_TRACE_ENABLED
+
+namespace spm {
+namespace trace_detail {
+
+std::atomic<bool> Enabled{false};
+
+namespace {
+
+/// All thread buffers ever registered, kept alive past thread exit so the
+/// exporter can read spans from joined pool workers. Guarded by RegistryMu;
+/// the owning threads touch only their own buffer, lock-free.
+struct Registry {
+  std::mutex Mu;
+  std::vector<std::unique_ptr<ThreadBuf>> Bufs;
+};
+
+Registry &registry() {
+  static Registry *R = new Registry; // Leaked: threads may outlive statics.
+  return *R;
+}
+
+uint64_t traceEpochNs() {
+  static const uint64_t Epoch =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return Epoch;
+}
+
+} // namespace
+
+uint64_t nowNs() {
+  // Epoch first: its lazy initializer reads the clock, so sampling Now
+  // before it would put the very first event a full clock value before the
+  // epoch and wrap negative.
+  uint64_t Epoch = traceEpochNs();
+  uint64_t Now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now().time_since_epoch())
+                     .count();
+  return Now - Epoch;
+}
+
+ThreadBuf &threadBuf() {
+  thread_local ThreadBuf *Buf = nullptr;
+  if (!Buf) {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    R.Bufs.push_back(std::make_unique<ThreadBuf>());
+    Buf = R.Bufs.back().get();
+    Buf->Tid = static_cast<uint32_t>(R.Bufs.size());
+  }
+  return *Buf;
+}
+
+} // namespace trace_detail
+} // namespace spm
+
+size_t spm::traceEventCount() {
+  trace_detail::Registry &R = trace_detail::registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  size_t N = 0;
+  for (const auto &B : R.Bufs)
+    N += B->Size;
+  return N;
+}
+
+uint64_t spm::traceDroppedCount() {
+  trace_detail::Registry &R = trace_detail::registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  uint64_t N = 0;
+  for (const auto &B : R.Bufs)
+    N += B->Dropped;
+  return N;
+}
+
+void spm::traceReset() {
+  trace_detail::Registry &R = trace_detail::registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  for (auto &B : R.Bufs) {
+    B->Size = 0;
+    B->Dropped = 0;
+  }
+}
+
+std::vector<spm::TraceThreadStats> spm::traceThreadStats() {
+  trace_detail::Registry &R = trace_detail::registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  std::vector<TraceThreadStats> Out;
+  Out.reserve(R.Bufs.size());
+  for (const auto &B : R.Bufs) {
+    TraceThreadStats S;
+    S.Tid = B->Tid;
+    S.Dropped = B->Dropped;
+    for (uint32_t I = 0; I < B->Size; ++I)
+      (B->Events[I].IsEnd ? S.Ends : S.Begins)++;
+    Out.push_back(S);
+  }
+  return Out;
+}
+
+namespace {
+
+/// JSON string escaping for span names (literals in practice, but the
+/// exporter must emit valid JSON whatever they contain).
+void appendJsonString(std::string &Out, const char *S) {
+  Out += '"';
+  for (; *S; ++S) {
+    char C = *S;
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+} // namespace
+
+std::string spm::traceToChromeJson() {
+  trace_detail::Registry &R = trace_detail::registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+
+  std::string Out = "{\"traceEvents\": [\n";
+  char Buf[128];
+  bool First = true;
+  uint64_t Dropped = 0;
+  for (const auto &B : R.Bufs) {
+    Dropped += B->Dropped;
+    for (uint32_t I = 0; I < B->Size; ++I) {
+      const trace_detail::SpanEvent &E = B->Events[I];
+      if (!First)
+        Out += ",\n";
+      First = false;
+      Out += "{\"name\": ";
+      appendJsonString(Out, E.Name);
+      std::snprintf(Buf, sizeof(Buf),
+                    ", \"ph\": \"%c\", \"ts\": %.3f, \"pid\": 1, "
+                    "\"tid\": %u}",
+                    E.IsEnd ? 'E' : 'B', static_cast<double>(E.Ns) / 1000.0,
+                    B->Tid);
+      Out += Buf;
+    }
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "\n], \"displayTimeUnit\": \"ms\", \"otherData\": "
+                "{\"dropped_spans\": %llu}}\n",
+                static_cast<unsigned long long>(Dropped));
+  Out += Buf;
+  return Out;
+}
+
+#else // !SPM_TRACE_ENABLED
+
+size_t spm::traceEventCount() { return 0; }
+uint64_t spm::traceDroppedCount() { return 0; }
+void spm::traceReset() {}
+std::vector<spm::TraceThreadStats> spm::traceThreadStats() { return {}; }
+
+std::string spm::traceToChromeJson() {
+  return "{\"traceEvents\": [\n], \"displayTimeUnit\": \"ms\", "
+         "\"otherData\": {\"dropped_spans\": 0}}\n";
+}
+
+#endif // SPM_TRACE_ENABLED

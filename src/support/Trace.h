@@ -1,0 +1,206 @@
+//===- support/Trace.h - Zero-overhead scoped tracing ----------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing half of the spmtrace observability layer (the metrics half is
+/// Metrics.h): RAII spans recording begin/end timestamps into per-thread
+/// ring buffers, exported as Chrome `trace_event` JSON that loads directly
+/// in chrome://tracing or https://ui.perfetto.dev. See docs/observability.md.
+///
+/// Cost model, in order of cheapness:
+///
+///   - Compiled out (`-DSPM_TRACE=OFF`, i.e. SPM_TRACE_ENABLED == 0):
+///     every span and counter call collapses to nothing under
+///     `if constexpr`; the emitted code is as if the call sites did not
+///     exist. Behavior is byte-identical either way — instrumentation never
+///     touches the event stream or any RNG (enforced by
+///     tests/observability_test).
+///   - Compiled in, runtime-disabled (the default at startup): one relaxed
+///     atomic load and a predictable branch per span site. Spans sit at
+///     run/stage/shard/flush granularity — never per interpreter event — so
+///     this configuration stays within 1% of the compiled-out build on the
+///     hot stages (BENCH_trace.json records the measurement).
+///   - Enabled (`spmTraceSetEnabled(true)`, or spm_tool's --trace-out):
+///     two steady_clock reads and two lock-free ring-buffer pushes per
+///     span. Threads register their buffer once under a mutex; the hot
+///     path after that is a plain thread_local pointer.
+///
+/// Span events record strictly chronologically per thread, so the exported
+/// begin/end pairs balance by construction: a Span that recorded its "B"
+/// always records its "E" (even across a runtime disable), and one that
+/// started disabled records neither. When a ring fills, whole spans are
+/// dropped (the begin push reserves the end slot) and counted in the
+/// exporter's metadata rather than silently truncated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_SUPPORT_TRACE_H
+#define SPM_SUPPORT_TRACE_H
+
+// The CMake option SPM_TRACE defines this for every target; standalone
+// inclusion (e.g. tooling) defaults to compiled-in.
+#ifndef SPM_TRACE_ENABLED
+#define SPM_TRACE_ENABLED 1
+#endif
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spm {
+
+/// True when the layer is compiled in (SPM_TRACE=ON builds).
+constexpr bool traceCompiledIn() { return SPM_TRACE_ENABLED != 0; }
+
+#if SPM_TRACE_ENABLED
+
+namespace trace_detail {
+
+/// Process-wide runtime switch. Relaxed loads only: a span observing a
+/// stale value for a few events is harmless (it still balances), and the
+/// switch flips outside any measured region.
+extern std::atomic<bool> Enabled;
+
+/// One begin or end record. Name points at a string literal (span sites
+/// pass `const char *` literals, never computed strings), so records are
+/// POD and the buffer never allocates per event.
+struct SpanEvent {
+  const char *Name; ///< Literal span name; null marks an unused slot.
+  uint64_t Ns;      ///< steady_clock nanoseconds since process trace epoch.
+  bool IsEnd;       ///< False = "B" record, true = "E" record.
+};
+
+/// Fixed-capacity per-thread event buffer. Only its owning thread writes;
+/// the exporter reads after quiescence (all pool workers joined — pools are
+/// per-parallelFor and the registry keeps buffers of exited threads alive).
+struct ThreadBuf {
+  static constexpr size_t Capacity = 1u << 16; ///< 64K events / thread.
+  uint32_t Tid = 0;
+  uint64_t Dropped = 0;
+  uint32_t Size = 0;
+  SpanEvent Events[Capacity];
+
+  /// Pushes a begin record; returns false (and counts a drop) when fewer
+  /// than two slots remain — the matching end record must always fit, so a
+  /// full buffer drops whole spans, never half of one.
+  bool pushBegin(const char *Name, uint64_t Ns) {
+    if (Size + 2 > Capacity) {
+      ++Dropped;
+      return false;
+    }
+    Events[Size++] = {Name, Ns, false};
+    return true;
+  }
+  void pushEnd(const char *Name, uint64_t Ns) {
+    // pushBegin reserved this slot.
+    Events[Size++] = {Name, Ns, true};
+  }
+};
+
+/// Returns the calling thread's buffer, registering it on first use.
+ThreadBuf &threadBuf();
+
+/// Nanoseconds since the process trace epoch (first use of the clock).
+uint64_t nowNs();
+
+} // namespace trace_detail
+
+/// Runtime switch for the whole spmtrace layer (spans *and* the implicit
+/// pipeline metrics; see Metrics.h). Off at startup.
+inline void spmTraceSetEnabled(bool On) {
+  trace_detail::Enabled.store(On, std::memory_order_relaxed);
+}
+
+/// Current runtime state. This is the hot-path guard: one relaxed load.
+inline bool spmTraceEnabled() {
+  return trace_detail::Enabled.load(std::memory_order_relaxed);
+}
+
+/// RAII scoped span. \p Name must be a string literal (or otherwise outlive
+/// the process's last trace export).
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name) {
+    if (!spmTraceEnabled())
+      return;
+    trace_detail::ThreadBuf &B = trace_detail::threadBuf();
+    if (B.pushBegin(Name, trace_detail::nowNs())) {
+      Buf = &B;
+      this->Name = Name;
+    }
+  }
+  ~TraceSpan() {
+    // A span that recorded its begin always records its end, even if the
+    // runtime switch flipped mid-scope — per-thread balance is structural.
+    if (Buf)
+      Buf->pushEnd(Name, trace_detail::nowNs());
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+private:
+  trace_detail::ThreadBuf *Buf = nullptr;
+  const char *Name = nullptr;
+};
+
+#else // !SPM_TRACE_ENABLED
+
+inline void spmTraceSetEnabled(bool) {}
+constexpr bool spmTraceEnabled() { return false; }
+
+/// Compiled-out span: an empty object the optimizer deletes entirely.
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *) {}
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+};
+
+#endif // SPM_TRACE_ENABLED
+
+/// Number of span events currently buffered across all threads (0 when
+/// compiled out). Exporter/test helper, not a hot-path call.
+size_t traceEventCount();
+
+/// Total spans dropped to full ring buffers since the last reset.
+uint64_t traceDroppedCount();
+
+/// Renders every buffered span as Chrome trace_event JSON:
+/// `{"traceEvents": [{"name","ph":"B"/"E","ts","pid","tid"}...],
+///   "otherData": {...}}`. Timestamps are microseconds (fractional) since
+/// the trace epoch. Returns `{"traceEvents": []...}` when compiled out.
+std::string traceToChromeJson();
+
+/// Discards all buffered span events and drop counts (buffers of exited
+/// threads included). Tests and long-lived drivers use this between
+/// measured regions; spans currently open keep their reserved end slots,
+/// so reset only between fully unwound scopes.
+void traceReset();
+
+/// Per-thread (tid, begin-event count, end-event count, dropped) rows for
+/// tests asserting balance without a JSON round trip.
+struct TraceThreadStats {
+  uint32_t Tid = 0;
+  uint64_t Begins = 0;
+  uint64_t Ends = 0;
+  uint64_t Dropped = 0;
+};
+std::vector<TraceThreadStats> traceThreadStats();
+
+} // namespace spm
+
+// Span convenience macros: SPM_TRACE_SPAN("name") drops a scoped span in
+// the current block. The var name folds in the line number so two spans can
+// share a scope.
+#define SPM_TRACE_CONCAT_IMPL(A, B) A##B
+#define SPM_TRACE_CONCAT(A, B) SPM_TRACE_CONCAT_IMPL(A, B)
+#define SPM_TRACE_SPAN(NameLiteral)                                          \
+  ::spm::TraceSpan SPM_TRACE_CONCAT(SpmTraceSpan_, __LINE__)(NameLiteral)
+
+#endif // SPM_SUPPORT_TRACE_H

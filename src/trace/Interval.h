@@ -23,6 +23,7 @@
 #ifndef SPM_TRACE_INTERVAL_H
 #define SPM_TRACE_INTERVAL_H
 
+#include "support/Metrics.h"
 #include "uarch/PerfModel.h"
 #include "vm/Observer.h"
 
@@ -202,6 +203,10 @@ private:
     StartInstr += CurInstrs;
     CurInstrs = 0;
     Records.push_back(std::move(R));
+    if (spmTraceEnabled()) {
+      static MetricCounter &C = metrics().counter("intervals.cut");
+      C.forceAdd(1);
+    }
   }
 
   uint64_t FixedLen; ///< 0 => marker mode.

@@ -83,6 +83,8 @@ struct BatchEmitter {
   void flush() {
     if (EB.empty())
       return;
+    if (spmTraceEnabled())
+      metrics().counter("vm.batch_flushes").forceAdd(1);
     Sink.Flush(Sink.Ctx, EB);
     EB.clear();
   }
@@ -176,17 +178,20 @@ Interpreter::Interpreter(const Binary &B, const WorkloadInput &In)
 }
 
 RunResult Interpreter::run(ExecutionObserver &Obs, uint64_t MaxInstrsIn) {
+  SPM_TRACE_SPAN("vm.run");
   MaxInstrs = MaxInstrsIn;
   Result = RunResult();
   Obs.onRunStart(B, In);
   DirectEmitter E{Obs};
   execFunctionT(/*FuncId=*/0, /*Depth=*/0, E);
   Obs.onRunEnd(Result.TotalInstrs);
+  vm_detail::recordRunMetrics("vm.runs_direct", Result);
   return Result;
 }
 
 RunResult Interpreter::runBatchedSink(const BatchSink &Sink,
                                       uint64_t MaxInstrsIn) {
+  SPM_TRACE_SPAN("vm.runBatched");
   MaxInstrs = MaxInstrsIn;
   Result = RunResult();
   Sink.RunStart(Sink.Ctx, B, In);
@@ -194,6 +199,7 @@ RunResult Interpreter::runBatchedSink(const BatchSink &Sink,
   execFunctionT(/*FuncId=*/0, /*Depth=*/0, E);
   E.flush();
   Sink.RunEnd(Sink.Ctx, Result.TotalInstrs);
+  vm_detail::recordRunMetrics("vm.runs_batched", Result);
   return Result;
 }
 

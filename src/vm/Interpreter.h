@@ -22,7 +22,9 @@
 
 #include "ir/Binary.h"
 #include "ir/Input.h"
+#include "support/Metrics.h"
 #include "support/Random.h"
+#include "support/Trace.h"
 #include "vm/Checkpoint.h"
 #include "vm/EventBatch.h"
 #include "vm/Observer.h"
@@ -41,6 +43,24 @@ struct RunResult {
   uint64_t TotalMemAccesses = 0;
   bool HitInstrLimit = false;
 };
+
+namespace vm_detail {
+
+/// Books one finished run into the metrics registry: the per-entry-point
+/// run counter plus the retired-event totals. Gated on the spmtrace runtime
+/// switch (one relaxed load when off; compiled out entirely with
+/// SPM_TRACE=OFF) and called once per run, never per event.
+inline void recordRunMetrics(const char *RunCounter, const RunResult &R) {
+  if (!spmTraceEnabled())
+    return;
+  MetricsRegistry &M = metrics();
+  M.counter(RunCounter).forceAdd(1);
+  M.counter("vm.instrs_retired").forceAdd(R.TotalInstrs);
+  M.counter("vm.blocks_retired").forceAdd(R.TotalBlocks);
+  M.counter("vm.mem_accesses").forceAdd(R.TotalMemAccesses);
+}
+
+} // namespace vm_detail
 
 /// Emitter policy for the devirtualized direct path (runFast): every event
 /// dispatches statically into the concrete observer, unbuffered. A block's
@@ -119,12 +139,14 @@ public:
   RunResult runFast(ObsT &Obs,
                     uint64_t MaxInstrsIn =
                         std::numeric_limits<uint64_t>::max()) {
+    SPM_TRACE_SPAN("vm.runFast");
     MaxInstrs = MaxInstrsIn;
     Result = RunResult();
     dispatchRunStart(Obs, B, In);
     StaticEmitter<ObsT> E{Obs};
     execFunctionT(/*FuncId=*/0, /*Depth=*/0, E);
     dispatchRunEnd(Obs, Result.TotalInstrs);
+    vm_detail::recordRunMetrics("vm.runs_fast", Result);
     return Result;
   }
 
@@ -676,6 +698,9 @@ template <class Emit>
 RunResult Interpreter::segmentT(Emit &E, const InterpCheckpoint *From,
                                 uint64_t UntilInstrs,
                                 InterpCheckpoint *Out) {
+  SPM_TRACE_SPAN("vm.segment");
+  if (spmTraceEnabled())
+    metrics().counter("vm.segments").forceAdd(1);
   MaxInstrs = UntilInstrs;
   if (From)
     restoreState(*From);

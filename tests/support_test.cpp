@@ -159,6 +159,79 @@ TEST(RunningStat, MergeEqualsSequential) {
   EXPECT_DOUBLE_EQ(A.max(), Whole.max());
 }
 
+TEST(RunningStat, MergeEmptyIntoEmpty) {
+  RunningStat A, B;
+  A.merge(B);
+  EXPECT_EQ(A.count(), 0u);
+  EXPECT_EQ(A.mean(), 0.0);
+  EXPECT_EQ(A.variance(), 0.0);
+  EXPECT_EQ(A.min(), 0.0);
+  EXPECT_EQ(A.max(), 0.0);
+}
+
+TEST(RunningStat, MergeSingleSamples) {
+  // n=1 + n=1: the parallel-merge cross term carries all the variance.
+  RunningStat A, B;
+  A.add(2.0);
+  B.add(6.0);
+  A.merge(B);
+  EXPECT_EQ(A.count(), 2u);
+  EXPECT_DOUBLE_EQ(A.mean(), 4.0);
+  EXPECT_NEAR(A.variance(), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(A.min(), 2.0);
+  EXPECT_DOUBLE_EQ(A.max(), 6.0);
+  EXPECT_DOUBLE_EQ(A.sum(), 8.0);
+}
+
+TEST(RunningStat, MergeSingleIntoMany) {
+  // n=1 merged into a populated accumulator equals adding the sample.
+  RunningStat Many, One, Seq;
+  for (double X : {1.0, 4.0, 9.0, 16.0}) {
+    Many.add(X);
+    Seq.add(X);
+  }
+  One.add(-3.0);
+  Seq.add(-3.0);
+  Many.merge(One);
+  EXPECT_EQ(Many.count(), Seq.count());
+  EXPECT_NEAR(Many.mean(), Seq.mean(), 1e-12);
+  EXPECT_NEAR(Many.variance(), Seq.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(Many.min(), -3.0);
+}
+
+TEST(RunningStat, FromMomentsRoundTrip) {
+  RunningStat S;
+  for (double X : {2.5, -1.0, 7.25, 3.0})
+    S.add(X);
+  RunningStat R = RunningStat::fromMoments(S.count(), S.mean(), S.m2(),
+                                           S.sum(), S.max(), S.min());
+  EXPECT_EQ(R.count(), S.count());
+  EXPECT_DOUBLE_EQ(R.mean(), S.mean());
+  EXPECT_DOUBLE_EQ(R.variance(), S.variance());
+  EXPECT_DOUBLE_EQ(R.sum(), S.sum());
+  EXPECT_DOUBLE_EQ(R.max(), S.max());
+  EXPECT_DOUBLE_EQ(R.min(), S.min());
+  // The rebuilt accumulator must keep accumulating correctly.
+  R.add(100.0);
+  S.add(100.0);
+  EXPECT_DOUBLE_EQ(R.mean(), S.mean());
+  EXPECT_NEAR(R.variance(), S.variance(), 1e-9);
+}
+
+TEST(RunningStat, FromMomentsZeroCountIsEmpty) {
+  // N == 0 must yield a pristine accumulator whatever the other fields
+  // claim (a serialized empty stat may carry garbage moments).
+  RunningStat R = RunningStat::fromMoments(0, 99.0, 7.0, 123.0, 5.0, -5.0);
+  EXPECT_EQ(R.count(), 0u);
+  EXPECT_EQ(R.mean(), 0.0);
+  EXPECT_EQ(R.max(), 0.0);
+  EXPECT_EQ(R.min(), 0.0);
+  R.add(3.0);
+  EXPECT_DOUBLE_EQ(R.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(R.min(), 3.0);
+  EXPECT_DOUBLE_EQ(R.max(), 3.0);
+}
+
 TEST(RunningStat, MergeWithEmpty) {
   RunningStat A, Empty;
   A.add(1);
@@ -247,6 +320,33 @@ TEST(Table, CsvEscapesCommas) {
 TEST(Table, FormatDouble) {
   EXPECT_EQ(formatDouble(1.5, 2), "1.50");
   EXPECT_EQ(formatDouble(-0.125, 3), "-0.125");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(Table, CsvEscapesQuotesAndNewlines) {
+  Table T;
+  T.row().cell("say \"hi\"").cell("two\nlines");
+  EXPECT_EQ(T.csv(), "\"say \"\"hi\"\"\",\"two\nlines\"\n");
+}
+
+TEST(Table, NegativeAndRowCount) {
+  Table T;
+  EXPECT_EQ(T.numRows(), 0u);
+  T.row().cell("delta").cell(int64_t{-42});
+  T.row().cell("count").cell(7u);
+  EXPECT_EQ(T.numRows(), 2u);
+  EXPECT_NE(T.str().find("-42"), std::string::npos);
+  EXPECT_EQ(T.csv(), "delta,-42\ncount,7\n");
+}
+
+TEST(Table, RaggedRowsRender) {
+  // Rows need not share a length; short rows just end early.
+  Table T;
+  T.row().cell("a").cell("b").cell("c");
+  T.row().cell("only");
+  std::string S = T.str();
+  EXPECT_NE(S.find("only"), std::string::npos);
+  EXPECT_EQ(T.csv(), "a,b,c\nonly\n");
 }
 
 //===----------------------------------------------------------------------===//

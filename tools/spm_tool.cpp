@@ -23,13 +23,16 @@
 #include "callloop/Profile.h"
 #include "callloop/ProfileIO.h"
 #include "ir/Lowering.h"
+#include "markers/Checkpoint.h"
 #include "markers/Pipeline.h"
 #include "markers/Selector.h"
 #include "markers/Serialize.h"
 #include "markers/Sharded.h"
 #include "phase/Metrics.h"
+#include "support/Metrics.h"
 #include "support/Parallel.h"
 #include "support/Table.h"
+#include "support/Trace.h"
 #include "workloads/Workloads.h"
 
 #include <algorithm>
@@ -40,6 +43,7 @@
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -58,9 +62,17 @@ int usage() {
       "  spm_tool report <workload> <marker-file> [--input train|ref]\n"
       "  spm_tool bench [<workload>...] [--jobs N] [--ilower N] [--limit N]\n"
       "  spm_tool bench --profile [<workload>...] [--reps N] [-o <json>]\n"
+      "  spm_tool checkpoint save <workload> <marker-file> --at N\n"
+      "                  [-o <ckpt>] [--intervals <file>] [--input train|ref]\n"
+      "  spm_tool checkpoint resume <workload> <marker-file> <ckpt>\n"
+      "                  [--intervals <file>] [--input train|ref]\n"
       "  spm_tool dot <workload> [--input train|ref]\n"
       "common: --jobs N parallelizes independent runs (0 = all cores;\n"
       "        SPM_JOBS is the environment fallback)\n"
+      "        --trace-out FILE enables spmtrace and writes a Chrome\n"
+      "        trace_event JSON timeline (chrome://tracing / Perfetto)\n"
+      "        --metrics-out FILE enables spmtrace and writes the metrics\n"
+      "        registry as JSONL ('-' = stderr as text)\n"
       "bench --profile measures per-stage event throughput of the legacy\n"
       "per-event engine vs the batched engine; JSON lands in\n"
       "BENCH_engine.json unless -o overrides it; the sharded-execution\n"
@@ -110,12 +122,34 @@ struct CommonArgs {
   SelectorConfig Config;
   bool Profile = false;
   int Reps = 3;
+  uint64_t At = 0;
+  std::string IntervalsPath;
+  std::string TraceOut;
+  std::string MetricsOut;
   bool Bad = false;
 };
+
+/// Matches `--flag VALUE` and `--flag=VALUE`; on a match \p Value is set
+/// and true returned. \p I advances past a detached value.
+bool valueOpt(const std::string &Arg, const char *Flag, int &I, int Argc,
+              char **Argv, std::string &Value) {
+  std::string F(Flag);
+  if (Arg == F && I + 1 < Argc) {
+    Value = Argv[++I];
+    return true;
+  }
+  if (Arg.size() > F.size() + 1 && Arg.compare(0, F.size(), F) == 0 &&
+      Arg[F.size()] == '=') {
+    Value = Arg.substr(F.size() + 1);
+    return true;
+  }
+  return false;
+}
 
 CommonArgs parseArgs(int Argc, char **Argv, int Start) {
   CommonArgs A;
   A.Config.ILower = 10000;
+  std::string V;
   for (int I = Start; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--input" && I + 1 < Argc) {
@@ -133,6 +167,14 @@ CommonArgs parseArgs(int Argc, char **Argv, int Start) {
       A.Profile = true;
     } else if (Arg == "--reps" && I + 1 < Argc) {
       A.Reps = std::atoi(Argv[++I]);
+    } else if (Arg == "--at" && I + 1 < Argc) {
+      A.At = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (valueOpt(Arg, "--intervals", I, Argc, Argv, V)) {
+      A.IntervalsPath = V;
+    } else if (valueOpt(Arg, "--trace-out", I, Argc, Argv, V)) {
+      A.TraceOut = V;
+    } else if (valueOpt(Arg, "--metrics-out", I, Argc, Argv, V)) {
+      A.MetricsOut = V;
     } else if (Arg == "--jobs" && I + 1 < Argc) {
       setParallelJobs(std::atoi(Argv[++I]));
     } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
@@ -351,7 +393,6 @@ int cmdBenchProfile(const CommonArgs &A) {
   const char *StageNames[NumStages] = {"interp", "interp+tracker",
                                        "tracker+markers+intervals", "bbv",
                                        "cache"};
-  double LegacyS[NumStages] = {}, EngineS[NumStages] = {};
   uint64_t TotalEvents = 0;
 
   // Sharded-execution stage: the full marker pipeline through
@@ -360,160 +401,197 @@ int cmdBenchProfile(const CommonArgs &A) {
   // is enforced by the "shard" ctest label), the shards=1 wrapper overhead
   // against the plain runFast driver, and per-shard wall times.
   constexpr unsigned ShardN = 4;
-  double ShardBaseS = 0.0, Shard1S = 0.0, ShardNSumS = 0.0;
   std::string ShardDetail;
   char Buf0[256];
 
-  auto timeBest = [&](auto &&Fn) {
-    double Best = 1e300;
+  // Every rep of a stage runs under an RAII ScopedMetricTimer booking into
+  // the registry histogram "bench.<workload>.<stage>.<arm>_s". Recording
+  // happens in the timer's destructor, so a rep that throws is still
+  // counted exactly once (no double-count on unwind) and the table/JSON
+  // below — which read only the registry — stay valid for partial runs.
+  auto stageHist = [](const std::string &Wl, const char *Stage,
+                      const char *Arm) {
+    return "bench." + Wl + "." + Stage + "." + Arm + "_s";
+  };
+  auto timeReps = [&](const std::string &Hist, auto &&Fn) {
     for (int R = 0; R < Reps; ++R) {
-      auto T0 = std::chrono::steady_clock::now();
+      ScopedMetricTimer T(Hist.c_str());
       Fn();
-      auto T1 = std::chrono::steady_clock::now();
-      Best = std::min(Best, std::chrono::duration<double>(T1 - T0).count());
     }
-    return Best;
+  };
+  // Best-of-reps seconds for one workload/stage/arm, straight from the
+  // registry; NaN when that cell never ran.
+  auto bestOf = [&](const std::string &Wl, const char *Stage,
+                    const char *Arm) {
+    RunningStat S = metrics().histogram(stageHist(Wl, Stage, Arm)).snapshot();
+    return S.count() > 0 ? S.min()
+                         : std::numeric_limits<double>::quiet_NaN();
+  };
+  // Sum of per-workload bests across all workloads that ran the cell.
+  auto stageSeconds = [&](const char *Stage, const char *Arm) {
+    double Sum = 0.0;
+    bool Any = false;
+    for (const std::string &Wl : Names) {
+      double B = bestOf(Wl, Stage, Arm);
+      if (B == B) {
+        Sum += B;
+        Any = true;
+      }
+    }
+    return Any ? Sum : std::numeric_limits<double>::quiet_NaN();
   };
 
+  std::string StageError;
   for (const std::string &Name : Names) {
-    Workload W = WorkloadRegistry::create(Name);
-    auto Bin = lower(*W.Program, LoweringOptions::O2());
-    LoopIndex Loops = LoopIndex::build(*Bin);
-    const WorkloadInput &In = A.UseRef ? W.Ref : W.Train;
+    try {
+      Workload W = WorkloadRegistry::create(Name);
+      auto Bin = lower(*W.Program, LoweringOptions::O2());
+      LoopIndex Loops = LoopIndex::build(*Bin);
+      const WorkloadInput &In = A.UseRef ? W.Ref : W.Train;
 
-    // Count the stream once (doubles as warm-up).
-    EventCounter EC;
-    {
-      Interpreter I(*Bin, In);
-      I.run(EC, Cap);
+      // Count the stream once (doubles as warm-up).
+      EventCounter EC;
+      {
+        Interpreter I(*Bin, In);
+        I.run(EC, Cap);
+      }
+      TotalEvents += EC.Events;
+
+      // Markers for the full-pipeline stage.
+      auto G = buildCallLoopGraph(*Bin, Loops, In, Cap);
+      SelectionResult Sel = selectMarkers(*G, A.Config);
+
+      timeReps(stageHist(Name, "interp", "legacy"), [&] {
+        ExecutionObserver Nop;
+        Interpreter I(*Bin, In);
+        I.run(Nop, Cap);
+      });
+      timeReps(stageHist(Name, "interp", "engine"), [&] {
+        NullSink S;
+        Interpreter I(*Bin, In);
+        I.runFast(S, Cap);
+      });
+
+      timeReps(stageHist(Name, "interp+tracker", "legacy"), [&] {
+        CallLoopGraph PG(*Bin, Loops);
+        CallLoopTracker T(*Bin, Loops, PG);
+        GraphProfiler P(PG);
+        T.addListener(&P);
+        ObserverMux Mux;
+        Mux.add(&T);
+        Interpreter I(*Bin, In);
+        I.run(Mux, Cap);
+      });
+      timeReps(stageHist(Name, "interp+tracker", "engine"), [&] {
+        CallLoopGraph PG(*Bin, Loops);
+        CallLoopTracker T(*Bin, Loops, PG);
+        T.setProfileTarget(&PG);
+        Interpreter I(*Bin, In);
+        I.runFast(T, Cap);
+      });
+
+      timeReps(stageHist(Name, "tracker+markers+intervals", "legacy"), [&] {
+        PerfModel Perf;
+        IntervalBuilder Ivb =
+            IntervalBuilder::markerDriven(&Perf, /*CollectBbv=*/false);
+        CallLoopTracker T(*Bin, Loops, *G);
+        MarkerRuntime RT(Sel.Markers, *G);
+        T.addListener(&RT);
+        RT.setCallback([&](int32_t Idx) { Ivb.requestCut(Idx); });
+        ObserverMux Mux;
+        Mux.add(&T);
+        Mux.add(&Ivb);
+        Mux.add(&Perf);
+        Interpreter I(*Bin, In);
+        I.run(Mux, Cap);
+      });
+      timeReps(stageHist(Name, "tracker+markers+intervals", "engine"), [&] {
+        PerfModel Perf;
+        IntervalBuilder Ivb =
+            IntervalBuilder::markerDriven(&Perf, /*CollectBbv=*/false);
+        CallLoopTracker T(*Bin, Loops, *G);
+        MarkerRuntime RT(Sel.Markers, *G);
+        T.addListener(&RT);
+        RT.setCallback([&](int32_t Idx) { Ivb.requestCut(Idx); });
+        StaticMux<CallLoopTracker, IntervalBuilder, PerfModel> Mux(T, Ivb,
+                                                                   Perf);
+        Interpreter I(*Bin, In);
+        I.runFast(Mux, Cap);
+      });
+
+      timeReps(stageHist(Name, "bbv", "legacy"), [&] {
+        PerfModel Perf;
+        IntervalBuilder Ivb =
+            IntervalBuilder::fixedLength(100000, &Perf, /*CollectBbv=*/true);
+        ObserverMux Mux;
+        Mux.add(&Ivb);
+        Mux.add(&Perf);
+        Interpreter I(*Bin, In);
+        I.run(Mux, Cap);
+      });
+      timeReps(stageHist(Name, "bbv", "engine"), [&] {
+        PerfModel Perf;
+        IntervalBuilder Ivb =
+            IntervalBuilder::fixedLength(100000, &Perf, /*CollectBbv=*/true);
+        StaticMux<IntervalBuilder, PerfModel> Mux(Ivb, Perf);
+        Interpreter I(*Bin, In);
+        I.runFast(Mux, Cap);
+      });
+
+      timeReps(stageHist(Name, "cache", "legacy"), [&] {
+        PerfModel Perf;
+        Interpreter I(*Bin, In);
+        I.run(Perf, Cap);
+      });
+      timeReps(stageHist(Name, "cache", "engine"), [&] {
+        PerfModel Perf;
+        Interpreter I(*Bin, In);
+        I.runFast(Perf, Cap);
+      });
+
+      timeReps(stageHist(Name, "shard", "base"), [&] {
+        runMarkerIntervals(*Bin, Loops, *G, Sel.Markers, In,
+                           /*CollectBbv=*/false, /*RecordFirings=*/false,
+                           Cap);
+      });
+      timeReps(stageHist(Name, "shard", "shards1"), [&] {
+        runMarkerIntervalsSharded(*Bin, Loops, *G, Sel.Markers, In,
+                                  /*CollectBbv=*/false,
+                                  /*RecordFirings=*/false, /*NShards=*/1,
+                                  Cap);
+      });
+      std::vector<double> PerShard;
+      timeReps(stageHist(Name, "shard", "shardsN"), [&] {
+        PerShard.clear();
+        runMarkerIntervalsSharded(*Bin, Loops, *G, Sel.Markers, In,
+                                  /*CollectBbv=*/false,
+                                  /*RecordFirings=*/false, ShardN, Cap,
+                                  PerfModelOptions(), &PerShard);
+      });
+
+      std::snprintf(Buf0, sizeof(Buf0),
+                    "    {\"name\": \"%s\", \"base_s\": %.6f, "
+                    "\"shards1_s\": %.6f, \"shards%u_s\": %.6f, "
+                    "\"per_shard_s\": [",
+                    Name.c_str(), bestOf(Name, "shard", "base"),
+                    bestOf(Name, "shard", "shards1"), ShardN,
+                    bestOf(Name, "shard", "shardsN"));
+      ShardDetail +=
+          ShardDetail.empty() ? Buf0 : (std::string(",\n") + Buf0);
+      for (size_t S = 0; S < PerShard.size(); ++S) {
+        std::snprintf(Buf0, sizeof(Buf0), "%s%.6f", S ? ", " : "",
+                      PerShard[S]);
+        ShardDetail += Buf0;
+      }
+      ShardDetail += "]}";
+    } catch (const std::exception &E) {
+      // Partial data for this workload is already in the registry; finish
+      // the report with what exists instead of dying with nothing.
+      StageError = Name + ": " + E.what();
+      std::fprintf(stderr, "bench: stage failed on %s: %s\n", Name.c_str(),
+                   E.what());
+      break;
     }
-    TotalEvents += EC.Events;
-
-    // Markers for the full-pipeline stage.
-    auto G = buildCallLoopGraph(*Bin, Loops, In, Cap);
-    SelectionResult Sel = selectMarkers(*G, A.Config);
-
-    LegacyS[0] += timeBest([&] {
-      ExecutionObserver Nop;
-      Interpreter I(*Bin, In);
-      I.run(Nop, Cap);
-    });
-    EngineS[0] += timeBest([&] {
-      NullSink S;
-      Interpreter I(*Bin, In);
-      I.runFast(S, Cap);
-    });
-
-    LegacyS[1] += timeBest([&] {
-      CallLoopGraph PG(*Bin, Loops);
-      CallLoopTracker T(*Bin, Loops, PG);
-      GraphProfiler P(PG);
-      T.addListener(&P);
-      ObserverMux Mux;
-      Mux.add(&T);
-      Interpreter I(*Bin, In);
-      I.run(Mux, Cap);
-    });
-    EngineS[1] += timeBest([&] {
-      CallLoopGraph PG(*Bin, Loops);
-      CallLoopTracker T(*Bin, Loops, PG);
-      T.setProfileTarget(&PG);
-      Interpreter I(*Bin, In);
-      I.runFast(T, Cap);
-    });
-
-    LegacyS[2] += timeBest([&] {
-      PerfModel Perf;
-      IntervalBuilder Ivb =
-          IntervalBuilder::markerDriven(&Perf, /*CollectBbv=*/false);
-      CallLoopTracker T(*Bin, Loops, *G);
-      MarkerRuntime RT(Sel.Markers, *G);
-      T.addListener(&RT);
-      RT.setCallback([&](int32_t Idx) { Ivb.requestCut(Idx); });
-      ObserverMux Mux;
-      Mux.add(&T);
-      Mux.add(&Ivb);
-      Mux.add(&Perf);
-      Interpreter I(*Bin, In);
-      I.run(Mux, Cap);
-    });
-    EngineS[2] += timeBest([&] {
-      PerfModel Perf;
-      IntervalBuilder Ivb =
-          IntervalBuilder::markerDriven(&Perf, /*CollectBbv=*/false);
-      CallLoopTracker T(*Bin, Loops, *G);
-      MarkerRuntime RT(Sel.Markers, *G);
-      T.addListener(&RT);
-      RT.setCallback([&](int32_t Idx) { Ivb.requestCut(Idx); });
-      StaticMux<CallLoopTracker, IntervalBuilder, PerfModel> Mux(T, Ivb,
-                                                                 Perf);
-      Interpreter I(*Bin, In);
-      I.runFast(Mux, Cap);
-    });
-
-    LegacyS[3] += timeBest([&] {
-      PerfModel Perf;
-      IntervalBuilder Ivb =
-          IntervalBuilder::fixedLength(100000, &Perf, /*CollectBbv=*/true);
-      ObserverMux Mux;
-      Mux.add(&Ivb);
-      Mux.add(&Perf);
-      Interpreter I(*Bin, In);
-      I.run(Mux, Cap);
-    });
-    EngineS[3] += timeBest([&] {
-      PerfModel Perf;
-      IntervalBuilder Ivb =
-          IntervalBuilder::fixedLength(100000, &Perf, /*CollectBbv=*/true);
-      StaticMux<IntervalBuilder, PerfModel> Mux(Ivb, Perf);
-      Interpreter I(*Bin, In);
-      I.runFast(Mux, Cap);
-    });
-
-    LegacyS[4] += timeBest([&] {
-      PerfModel Perf;
-      Interpreter I(*Bin, In);
-      I.run(Perf, Cap);
-    });
-    EngineS[4] += timeBest([&] {
-      PerfModel Perf;
-      Interpreter I(*Bin, In);
-      I.runFast(Perf, Cap);
-    });
-
-    double WlBase = timeBest([&] {
-      runMarkerIntervals(*Bin, Loops, *G, Sel.Markers, In,
-                         /*CollectBbv=*/false, /*RecordFirings=*/false, Cap);
-    });
-    double Wl1 = timeBest([&] {
-      runMarkerIntervalsSharded(*Bin, Loops, *G, Sel.Markers, In,
-                                /*CollectBbv=*/false,
-                                /*RecordFirings=*/false, /*NShards=*/1, Cap);
-    });
-    std::vector<double> PerShard;
-    double WlN = timeBest([&] {
-      PerShard.clear();
-      runMarkerIntervalsSharded(*Bin, Loops, *G, Sel.Markers, In,
-                                /*CollectBbv=*/false,
-                                /*RecordFirings=*/false, ShardN, Cap,
-                                PerfModelOptions(), &PerShard);
-    });
-    ShardBaseS += WlBase;
-    Shard1S += Wl1;
-    ShardNSumS += WlN;
-
-    std::snprintf(Buf0, sizeof(Buf0),
-                  "    {\"name\": \"%s\", \"base_s\": %.6f, "
-                  "\"shards1_s\": %.6f, \"shards%u_s\": %.6f, "
-                  "\"per_shard_s\": [",
-                  Name.c_str(), WlBase, Wl1, ShardN, WlN);
-    ShardDetail += ShardDetail.empty() ? Buf0 : (std::string(",\n") + Buf0);
-    for (size_t S = 0; S < PerShard.size(); ++S) {
-      std::snprintf(Buf0, sizeof(Buf0), "%s%.6f", S ? ", " : "",
-                    PerShard[S]);
-      ShardDetail += Buf0;
-    }
-    ShardDetail += "]}";
   }
 
   Table T;
@@ -525,19 +603,31 @@ int cmdBenchProfile(const CommonArgs &A) {
   char Buf[256];
   std::string Json = "{\n  \"bench\": \"engine-profile\",\n";
   std::snprintf(Buf, sizeof(Buf),
-                "  \"cap_instrs\": %llu,\n  \"reps\": %d,\n",
-                static_cast<unsigned long long>(Cap), Reps);
+                "  \"cap_instrs\": %llu,\n  \"reps\": %d,\n"
+                "  \"trace_compiled_in\": %s,\n  \"trace_enabled\": %s,\n",
+                static_cast<unsigned long long>(Cap), Reps,
+                traceCompiledIn() ? "true" : "false",
+                spmTraceEnabled() ? "true" : "false");
   Json += Buf;
+  if (!StageError.empty())
+    Json += "  \"aborted_at\": \"" + StageError + "\",\n";
   Json += "  \"workloads\": [";
   for (size_t I = 0; I < Names.size(); ++I)
     Json += (I ? ", \"" : "\"") + Names[I] + "\"";
   std::snprintf(Buf, sizeof(Buf), "],\n  \"events\": %llu,\n  \"stages\": [\n",
                 static_cast<unsigned long long>(TotalEvents));
   Json += Buf;
+  bool FirstStage = true;
   for (int S = 0; S < NumStages; ++S) {
-    double LegacyEps = TotalEvents / LegacyS[S];
-    double EngineEps = TotalEvents / EngineS[S];
-    double Speedup = LegacyS[S] / EngineS[S];
+    double LegacySec = stageSeconds(StageNames[S], "legacy");
+    double EngineSec = stageSeconds(StageNames[S], "engine");
+    // A stage the run never reached (exception upstream) has no registry
+    // samples — leave it out rather than emit NaNs.
+    if (!(LegacySec > 0.0) || !(EngineSec > 0.0))
+      continue;
+    double LegacyEps = TotalEvents / LegacySec;
+    double EngineEps = TotalEvents / EngineSec;
+    double Speedup = LegacySec / EngineSec;
     std::snprintf(Buf, sizeof(Buf), "%.2fx", Speedup);
     T.row()
         .cell(StageNames[S])
@@ -545,14 +635,15 @@ int cmdBenchProfile(const CommonArgs &A) {
         .cell(EngineEps / 1e6, 1)
         .cell(std::string(Buf));
     std::snprintf(Buf, sizeof(Buf),
-                  "    {\"stage\": \"%s\", \"legacy_s\": %.6f, "
+                  "%s    {\"stage\": \"%s\", \"legacy_s\": %.6f, "
                   "\"engine_s\": %.6f, \"legacy_eps\": %.0f, "
-                  "\"engine_eps\": %.0f, \"speedup\": %.3f}%s\n",
-                  StageNames[S], LegacyS[S], EngineS[S], LegacyEps,
-                  EngineEps, Speedup, S + 1 < NumStages ? "," : "");
+                  "\"engine_eps\": %.0f, \"speedup\": %.3f}",
+                  FirstStage ? "" : ",\n", StageNames[S], LegacySec,
+                  EngineSec, LegacyEps, EngineEps, Speedup);
     Json += Buf;
+    FirstStage = false;
   }
-  Json += "  ]\n}\n";
+  Json += "\n  ]\n}\n";
 
   std::printf("%s", T.str().c_str());
   std::string OutPath =
@@ -563,8 +654,17 @@ int cmdBenchProfile(const CommonArgs &A) {
   }
   std::fprintf(stderr, "wrote %s\n", OutPath.c_str());
 
-  // Shard-stage summary + BENCH_shard.json.
-  double Overhead1 = ShardBaseS > 0.0 ? Shard1S / ShardBaseS - 1.0 : 0.0;
+  // Shard-stage summary + BENCH_shard.json, again from the registry.
+  double ShardBaseS = stageSeconds("shard", "base");
+  double Shard1S = stageSeconds("shard", "shards1");
+  double ShardNSumS = stageSeconds("shard", "shardsN");
+  if (!(ShardBaseS > 0.0) || !(Shard1S > 0.0) || !(ShardNSumS > 0.0)) {
+    std::fprintf(stderr,
+                 "bench: shard stage has no complete timings; skipping "
+                 "BENCH_shard.json\n");
+    return StageError.empty() ? 0 : 1;
+  }
+  double Overhead1 = Shard1S / ShardBaseS - 1.0;
   std::printf("\nshard stage (marker pipeline, %u-way):\n", ShardN);
   std::printf("  runFast baseline  %.3fs\n", ShardBaseS);
   std::printf("  shards=1          %.3fs  (overhead %+.1f%%)\n", Shard1S,
@@ -592,7 +692,216 @@ int cmdBenchProfile(const CommonArgs &A) {
     return 1;
   }
   std::fprintf(stderr, "wrote BENCH_shard.json\n");
+  return StageError.empty() ? 0 : 1;
+}
+
+/// One line per interval: every field that makes the record, so two dumps
+/// compare with cmp(1). The save+resume smoke test concatenates the two
+/// dumps and requires byte-equality with an uninterrupted run's dump.
+std::string dumpIntervals(const std::vector<IntervalRecord> &Iv) {
+  std::string Out;
+  char Buf[256];
+  for (const IntervalRecord &R : Iv) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%llu %llu %d %llu %llu %llu %llu %llu %llu\n",
+                  static_cast<unsigned long long>(R.StartInstr),
+                  static_cast<unsigned long long>(R.NumInstrs), R.PhaseId,
+                  static_cast<unsigned long long>(R.Perf.BaseCycles),
+                  static_cast<unsigned long long>(R.Perf.L1Accesses),
+                  static_cast<unsigned long long>(R.Perf.L1Misses),
+                  static_cast<unsigned long long>(R.Perf.Branches),
+                  static_cast<unsigned long long>(R.Perf.Mispredicts),
+                  static_cast<unsigned long long>(R.Perf.Instrs));
+    Out += Buf;
+  }
+  return Out;
+}
+
+/// Shared setup of `checkpoint save` / `checkpoint resume`: the marker
+/// pipeline of cmdReport, but driven through resumable segments.
+struct CheckpointPipeline {
+  std::unique_ptr<Binary> Bin;
+  LoopIndex Loops;
+  std::unique_ptr<CallLoopGraph> G;
+  MarkerSet M;
+  WorkloadInput In;
+
+  PerfModel Perf;
+  IntervalBuilder Ivb = IntervalBuilder::markerDriven(&Perf,
+                                                      /*CollectBbv=*/false);
+  std::unique_ptr<CallLoopTracker> Tracker;
+  std::unique_ptr<MarkerRuntime> Runtime;
+
+  /// Nonzero exit code on failure; 0 when ready to run.
+  int init(const CommonArgs &A, const std::string &WlName,
+           const std::string &MarkerPath) {
+    if (!knownWorkload(WlName)) {
+      std::fprintf(stderr, "checkpoint: unknown workload %s\n",
+                   WlName.c_str());
+      return 1;
+    }
+    std::string Text;
+    if (!readFile(MarkerPath, Text)) {
+      std::fprintf(stderr, "checkpoint: cannot read %s\n",
+                   MarkerPath.c_str());
+      return 1;
+    }
+    std::string Err;
+    auto Portable = parseMarkers(Text, &Err);
+    if (!Portable) {
+      std::fprintf(stderr, "checkpoint: %s\n", Err.c_str());
+      return 1;
+    }
+    Workload W = WorkloadRegistry::create(WlName);
+    Bin = lower(*W.Program, LoweringOptions::O2());
+    Loops = LoopIndex::build(*Bin);
+    G = std::make_unique<CallLoopGraph>(*Bin, Loops);
+    M = fromPortable(*Portable, *G, *Bin, Loops);
+    In = A.UseRef ? W.Ref : W.Train;
+    Tracker = std::make_unique<CallLoopTracker>(*Bin, Loops, *G);
+    Runtime = std::make_unique<MarkerRuntime>(M, *G);
+    Tracker->addListener(Runtime.get());
+    Runtime->setCallback([this](int32_t Idx) { Ivb.requestCut(Idx); });
+    return 0;
+  }
+};
+
+int cmdCheckpointSave(const CommonArgs &A) {
+  if (A.Positional.size() < 3) {
+    std::fprintf(stderr,
+                 "checkpoint save: need <workload> <marker-file> --at N\n");
+    return 1;
+  }
+  CheckpointPipeline P;
+  if (int Rc = P.init(A, A.Positional[1], A.Positional[2]))
+    return Rc;
+  uint64_t At =
+      A.At > 0 ? A.At : std::numeric_limits<uint64_t>::max();
+
+  StaticMux<CallLoopTracker, IntervalBuilder, PerfModel> Mux(
+      *P.Tracker, P.Ivb, P.Perf);
+  Interpreter Interp(*P.Bin, P.In);
+  Mux.onRunStart(*P.Bin, P.In);
+  PipelineCheckpoint C;
+  RunResult R = Interp.runFastSegment(Mux, nullptr, At, &C.Interp);
+  // Run framing: a run that completed before the boundary gets its normal
+  // end (pop-all + final cut) before states are captured, so resuming the
+  // checkpoint is a no-op rather than a duplicate final interval.
+  if (C.Interp.Finished)
+    Mux.onRunEnd(R.TotalInstrs);
+  C.Seed = P.In.seed();
+  C.HasTracker = true;
+  C.Tracker = P.Tracker->saveState();
+  C.HasInterval = true;
+  C.Interval = P.Ivb.saveState();
+  C.HasPerf = true;
+  C.Perf = P.Perf.saveState();
+  C.HasMarkers = true;
+  C.Markers = P.Runtime->saveState();
+
+  if (!writeOutput(A.OutPath, serializeCheckpoint(C))) {
+    std::fprintf(stderr, "checkpoint save: cannot write %s\n",
+                 A.OutPath.c_str());
+    return 1;
+  }
+  if (!A.IntervalsPath.empty() &&
+      !writeOutput(A.IntervalsPath, dumpIntervals(P.Ivb.takeIntervals()))) {
+    std::fprintf(stderr, "checkpoint save: cannot write %s\n",
+                 A.IntervalsPath.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "checkpoint save: %llu instrs%s\n",
+               static_cast<unsigned long long>(R.TotalInstrs),
+               C.Interp.Finished ? " (run complete)" : "");
   return 0;
+}
+
+int cmdCheckpointResume(const CommonArgs &A) {
+  if (A.Positional.size() < 4) {
+    std::fprintf(
+        stderr,
+        "checkpoint resume: need <workload> <marker-file> <ckpt-file>\n");
+    return 1;
+  }
+  CheckpointPipeline P;
+  if (int Rc = P.init(A, A.Positional[1], A.Positional[2]))
+    return Rc;
+  std::string Raw;
+  if (!readFile(A.Positional[3], Raw)) {
+    std::fprintf(stderr, "checkpoint resume: cannot read %s\n",
+                 A.Positional[3].c_str());
+    return 1;
+  }
+  std::string Err;
+  auto C = parseCheckpoint(Raw, &Err);
+  if (!C) {
+    std::fprintf(stderr, "checkpoint resume: %s\n", Err.c_str());
+    return 1;
+  }
+  if (C->Seed != P.In.seed()) {
+    std::fprintf(stderr,
+                 "checkpoint resume: checkpoint was taken with seed %llu "
+                 "but this input uses %llu\n",
+                 static_cast<unsigned long long>(C->Seed),
+                 static_cast<unsigned long long>(P.In.seed()));
+    return 1;
+  }
+  if (!C->HasTracker || !C->HasInterval || !C->HasPerf || !C->HasMarkers) {
+    std::fprintf(stderr,
+                 "checkpoint resume: checkpoint lacks a pipeline section\n");
+    return 1;
+  }
+  if (!P.Tracker->restoreState(C->Tracker) ||
+      !P.Perf.restoreState(C->Perf) ||
+      !P.Runtime->restoreState(C->Markers)) {
+    std::fprintf(stderr,
+                 "checkpoint resume: checkpoint does not fit this "
+                 "workload's pipeline\n");
+    return 1;
+  }
+  P.Ivb.restoreState(C->Interval);
+
+  StaticMux<CallLoopTracker, IntervalBuilder, PerfModel> Mux(
+      *P.Tracker, P.Ivb, P.Perf);
+  Interpreter Interp(*P.Bin, P.In);
+  uint64_t Resumed = C->Interp.TotalInstrs;
+  RunResult R;
+  R.TotalInstrs = Resumed;
+  if (!C->Interp.Finished) {
+    R = Interp.runFastSegment(Mux, &C->Interp,
+                              std::numeric_limits<uint64_t>::max());
+    Mux.onRunEnd(R.TotalInstrs);
+  }
+  std::vector<IntervalRecord> Iv = P.Ivb.takeIntervals();
+  if (!A.IntervalsPath.empty() &&
+      !writeOutput(A.IntervalsPath, dumpIntervals(Iv))) {
+    std::fprintf(stderr, "checkpoint resume: cannot write %s\n",
+                 A.IntervalsPath.c_str());
+    return 1;
+  }
+  Table T;
+  T.row().cell("metric").cell("value");
+  T.row().cell("resumed at").cell(Resumed);
+  T.row().cell("total instructions").cell(R.TotalInstrs);
+  T.row().cell("intervals after resume").cell(
+      static_cast<uint64_t>(Iv.size()));
+  std::printf("%s", T.str().c_str());
+  return 0;
+}
+
+int cmdCheckpoint(const CommonArgs &A) {
+  if (A.Positional.empty()) {
+    std::fprintf(stderr, "checkpoint: need save or resume\n");
+    return 1;
+  }
+  if (A.Positional[0] == "save")
+    return cmdCheckpointSave(A);
+  if (A.Positional[0] == "resume")
+    return cmdCheckpointResume(A);
+  std::fprintf(stderr, "checkpoint: unknown subcommand %s\n",
+               A.Positional[0].c_str());
+  return 1;
 }
 
 int cmdDot(const CommonArgs &A) {
@@ -607,15 +916,35 @@ int cmdDot(const CommonArgs &A) {
   return writeOutput(A.OutPath, printGraphDot(*G)) ? 0 : 1;
 }
 
-} // namespace
+/// Writes the spmtrace artifacts requested by --trace-out/--metrics-out.
+/// Runs after the command finishes (success or failure) so a failing run
+/// still leaves its partial timeline and counters behind.
+int dumpObservability(const CommonArgs &A) {
+  int Rc = 0;
+  if (!A.TraceOut.empty()) {
+    if (writeOutput(A.TraceOut, traceToChromeJson())) {
+      std::fprintf(stderr, "wrote %s (%zu span events, %llu dropped)\n",
+                   A.TraceOut.c_str(), traceEventCount(),
+                   static_cast<unsigned long long>(traceDroppedCount()));
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", A.TraceOut.c_str());
+      Rc = 1;
+    }
+  }
+  if (!A.MetricsOut.empty()) {
+    if (A.MetricsOut == "-") {
+      std::fputs(metrics().toText().c_str(), stderr);
+    } else if (writeOutput(A.MetricsOut, metrics().toJsonl())) {
+      std::fprintf(stderr, "wrote %s\n", A.MetricsOut.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", A.MetricsOut.c_str());
+      Rc = 1;
+    }
+  }
+  return Rc;
+}
 
-int main(int Argc, char **Argv) {
-  if (Argc < 2)
-    return usage();
-  std::string Cmd = Argv[1];
-  CommonArgs A = parseArgs(Argc, Argv, 2);
-  if (A.Bad)
-    return usage();
+int dispatch(const std::string &Cmd, const CommonArgs &A) {
   if (Cmd == "list")
     return cmdList();
   if (Cmd == "profile")
@@ -626,7 +955,31 @@ int main(int Argc, char **Argv) {
     return cmdReport(A);
   if (Cmd == "bench")
     return cmdBench(A);
+  if (Cmd == "checkpoint")
+    return cmdCheckpoint(A);
   if (Cmd == "dot")
     return cmdDot(A);
   return usage();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Cmd = Argv[1];
+  CommonArgs A = parseArgs(Argc, Argv, 2);
+  if (A.Bad)
+    return usage();
+  if (!A.TraceOut.empty() || !A.MetricsOut.empty())
+    spmTraceSetEnabled(true);
+  int Rc;
+  {
+    // Force-recorded so a metrics dump is never empty, even in builds
+    // with SPM_TRACE compiled out.
+    ScopedMetricTimer T("pipeline.cmd_wall_s");
+    Rc = dispatch(Cmd, A);
+  }
+  int ObsRc = dumpObservability(A);
+  return Rc ? Rc : ObsRc;
 }
