@@ -25,6 +25,14 @@ namespace {
 struct Registry {
   std::mutex Mu;
   std::vector<std::unique_ptr<ThreadBuf>> Bufs;
+  /// Buffers whose owning thread exited, handed to the next registering
+  /// thread instead of allocating a fresh ~1.5 MB ring per worker. Pools
+  /// are per-parallelFor, so without recycling a long traced run grows by
+  /// jobs x sizeof(ThreadBuf) on every parallel region. Reuse keeps the
+  /// old events (the exporter still reads them; a thread unwinds every
+  /// span before exit, so the stream it leaves behind is balanced and the
+  /// new owner's events append after it, still in timestamp order).
+  std::vector<ThreadBuf *> Free;
 };
 
 Registry &registry() {
@@ -54,15 +62,34 @@ uint64_t nowNs() {
 }
 
 ThreadBuf &threadBuf() {
-  thread_local ThreadBuf *Buf = nullptr;
-  if (!Buf) {
+  // The handle's destructor runs at thread exit (after every span on the
+  // thread has unwound — spans are scoped) and returns the buffer to the
+  // free-list. The registry is leaked, so taking its mutex during thread
+  // teardown is always safe.
+  struct BufHandle {
+    ThreadBuf *Buf = nullptr;
+    ~BufHandle() {
+      if (!Buf)
+        return;
+      Registry &R = registry();
+      std::lock_guard<std::mutex> Lock(R.Mu);
+      R.Free.push_back(Buf);
+    }
+  };
+  thread_local BufHandle H;
+  if (!H.Buf) {
     Registry &R = registry();
     std::lock_guard<std::mutex> Lock(R.Mu);
-    R.Bufs.push_back(std::make_unique<ThreadBuf>());
-    Buf = R.Bufs.back().get();
-    Buf->Tid = static_cast<uint32_t>(R.Bufs.size());
+    if (!R.Free.empty()) {
+      H.Buf = R.Free.back();
+      R.Free.pop_back();
+    } else {
+      R.Bufs.push_back(std::make_unique<ThreadBuf>());
+      H.Buf = R.Bufs.back().get();
+      H.Buf->Tid = static_cast<uint32_t>(R.Bufs.size());
+    }
   }
-  return *Buf;
+  return *H.Buf;
 }
 
 } // namespace trace_detail
@@ -90,6 +117,8 @@ void spm::traceReset() {
   trace_detail::Registry &R = trace_detail::registry();
   std::lock_guard<std::mutex> Lock(R.Mu);
   for (auto &B : R.Bufs) {
+    // OpenEnds is deliberately preserved: a span open across a reset still
+    // owes its end record, and its reserved slot must survive the wipe.
     B->Size = 0;
     B->Dropped = 0;
   }

@@ -33,8 +33,9 @@
 /// begin/end pairs balance by construction: a Span that recorded its "B"
 /// always records its "E" (even across a runtime disable), and one that
 /// started disabled records neither. When a ring fills, whole spans are
-/// dropped (the begin push reserves the end slot) and counted in the
-/// exporter's metadata rather than silently truncated.
+/// dropped (every begin push reserves an end slot for each still-open span,
+/// since spans nest) and counted in the exporter's metadata rather than
+/// silently truncated.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -78,27 +79,36 @@ struct SpanEvent {
 
 /// Fixed-capacity per-thread event buffer. Only its owning thread writes;
 /// the exporter reads after quiescence (all pool workers joined — pools are
-/// per-parallelFor and the registry keeps buffers of exited threads alive).
+/// per-parallelFor; the registry keeps buffers of exited threads alive for
+/// export and recycles them to later threads, so buffer memory is bounded
+/// by peak thread concurrency, not total thread count).
 struct ThreadBuf {
   static constexpr size_t Capacity = 1u << 16; ///< 64K events / thread.
   uint32_t Tid = 0;
   uint64_t Dropped = 0;
   uint32_t Size = 0;
+  uint32_t OpenEnds = 0; ///< Accepted begins whose end is still owed.
   SpanEvent Events[Capacity];
 
-  /// Pushes a begin record; returns false (and counts a drop) when fewer
-  /// than two slots remain — the matching end record must always fit, so a
-  /// full buffer drops whole spans, never half of one.
+  /// Pushes a begin record; returns false (and counts a drop) unless this
+  /// record, its own end, and the owed end of every already-open span all
+  /// fit. Spans nest (pool.task -> shard.exec -> vm.runFast -> ...), so one
+  /// reserved end slot per outstanding begin — a full buffer drops whole
+  /// spans, never half of one, and never overruns the ring. Invariant:
+  /// Size + OpenEnds <= Capacity.
   bool pushBegin(const char *Name, uint64_t Ns) {
-    if (Size + 2 > Capacity) {
+    if (Size + 2 + OpenEnds > Capacity) {
       ++Dropped;
       return false;
     }
+    ++OpenEnds;
     Events[Size++] = {Name, Ns, false};
     return true;
   }
   void pushEnd(const char *Name, uint64_t Ns) {
-    // pushBegin reserved this slot.
+    // In bounds by the invariant above: OpenEnds >= 1 here, so Size is at
+    // most Capacity - 1.
+    --OpenEnds;
     Events[Size++] = {Name, Ns, true};
   }
 };

@@ -23,6 +23,7 @@
 #include "markers/Selector.h"
 #include "markers/Sharded.h"
 #include "support/Metrics.h"
+#include "support/Parallel.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 #include "workloads/Workloads.h"
@@ -394,6 +395,76 @@ TEST(ChromeTrace, BalanceSurvivesMidSpanDisable) {
   } else {
     EXPECT_EQ(traceEventCount(), 0u);
   }
+}
+
+// Regression: spans nest, so the ring must reserve one end slot for every
+// open span, not just the newest one. Overfilling the buffer with a deep
+// nest used to write ends past Events[Capacity-1]; now the surplus begins
+// drop whole spans and every recorded stream still balances. (Run under
+// ASan, this is also an out-of-bounds write check.)
+TEST(ChromeTrace, NestedSpansFillBufferWithoutOverflow) {
+  ObsGuard Guard;
+  if (!traceCompiledIn())
+    GTEST_SKIP() << "ring buffer compiled out";
+  // Pure nesting accepts the begin at depth I (Size == OpenEnds == I)
+  // while 2*I + 2 <= Capacity — the first Capacity/2 levels exactly, which
+  // on unwind fill the ring to the last slot; everything deeper must drop.
+  constexpr size_t Capacity = size_t(1) << 16;
+  constexpr size_t Depth = Capacity; // well past the acceptance bound
+  constexpr size_t Accepted = Capacity / 2;
+
+  spmTraceSetEnabled(true);
+  {
+    // LIFO vector of heap spans = a Depth-deep nest without Depth stack
+    // frames; pop_back unwinds innermost-first like real scopes do.
+    std::vector<std::unique_ptr<TraceSpan>> Nest;
+    Nest.reserve(Depth);
+    for (size_t I = 0; I < Depth; ++I)
+      Nest.push_back(std::make_unique<TraceSpan>("obs.nest"));
+    while (!Nest.empty())
+      Nest.pop_back();
+  }
+  spmTraceSetEnabled(false);
+
+  EXPECT_EQ(traceDroppedCount(), Depth - Accepted);
+  EXPECT_EQ(traceEventCount(), 2 * Accepted);
+  for (const TraceThreadStats &S : traceThreadStats())
+    EXPECT_EQ(S.Begins, S.Ends) << "tid " << S.Tid;
+  std::string Json = traceToChromeJson();
+  EXPECT_TRUE(JsonParser(Json).parse()) << Json.substr(0, 400);
+  EXPECT_EQ(countSubstr(Json, "\"ph\": \"B\""), Accepted);
+  EXPECT_EQ(countSubstr(Json, "\"ph\": \"E\""), Accepted);
+}
+
+// Regression: pools are per-parallelFor, so every traced parallel region
+// used to register brand-new ~1.5 MB rings for its workers and keep them
+// forever. Exited workers now return their ring to a free-list and later
+// workers reuse it, so repeated regions run in a bounded buffer set.
+TEST(ChromeTrace, ExitedWorkerBuffersAreRecycled) {
+  ObsGuard Guard;
+  if (!traceCompiledIn())
+    GTEST_SKIP() << "ring buffer compiled out";
+  ScopedJobs Jobs(3);
+  spmTraceSetEnabled(true);
+  auto Region = [] {
+    parallelFor(16, [](size_t) { SPM_TRACE_SPAN("obs.recycle"); });
+  };
+  Region();
+  // parallelFor joins its pool before returning, and a joined worker's
+  // thread_local teardown has already freed its ring — so the next region
+  // finds every worker ring on the free-list.
+  size_t RingsAfterFirst = traceThreadStats().size();
+  for (int R = 0; R < 8; ++R)
+    Region();
+  size_t RingsAfterNinth = traceThreadStats().size();
+  spmTraceSetEnabled(false);
+
+  EXPECT_EQ(RingsAfterNinth, RingsAfterFirst);
+  // Reuse must not cost correctness: streams stay balanced per ring even
+  // when several successive workers shared one.
+  for (const TraceThreadStats &S : traceThreadStats())
+    EXPECT_EQ(S.Begins, S.Ends) << "tid " << S.Tid;
+  EXPECT_TRUE(JsonParser(traceToChromeJson()).parse());
 }
 
 TEST(ChromeTrace, ResetClearsEverything) {

@@ -108,6 +108,39 @@ bool writeOutput(const std::string &Path, const std::string &Text) {
   return static_cast<bool>(OutF);
 }
 
+/// Escapes a string for embedding in a JSON string literal. Error paths
+/// splice exception text (arbitrary bytes) into report JSON; the report
+/// must stay parseable whatever the message contains.
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
 bool knownWorkload(const std::string &Name) {
   for (const std::string &N : WorkloadRegistry::allNames())
     if (N == Name)
@@ -610,7 +643,7 @@ int cmdBenchProfile(const CommonArgs &A) {
                 spmTraceEnabled() ? "true" : "false");
   Json += Buf;
   if (!StageError.empty())
-    Json += "  \"aborted_at\": \"" + StageError + "\",\n";
+    Json += "  \"aborted_at\": \"" + jsonEscape(StageError) + "\",\n";
   Json += "  \"workloads\": [";
   for (size_t I = 0; I < Names.size(); ++I)
     Json += (I ? ", \"" : "\"") + Names[I] + "\"";
