@@ -88,13 +88,16 @@ struct ShardPlan {
 /// pass over the control flow).
 inline ShardPlan
 planShards(const Binary &B, const WorkloadInput &In, unsigned NShards,
-           uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max()) {
+           uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max(),
+           const BytecodeModule *Bc = nullptr) {
   assert(NShards >= 1 && "need at least one shard");
   SPM_TRACE_SPAN("shard.plan");
   struct NullObs {};
   NullObs O;
   Interpreter Interp(B, In);
-  uint64_t Total = Interp.runFast(O, MaxInstrs).TotalInstrs;
+  uint64_t Total = (Bc ? Interp.runBytecode(*Bc, O, MaxInstrs)
+                       : Interp.runFast(O, MaxInstrs))
+                       .TotalInstrs;
 
   ShardPlan P;
   P.Until.reserve(NShards);
@@ -111,25 +114,40 @@ inline double secondsSince(std::chrono::steady_clock::time_point T0) {
       .count();
 }
 
+/// Runs one segment on whichever execution tier \p Bc selects. Checkpoints
+/// are tier-independent (ResumeFrame stacks address source structure, not
+/// engine state), so a single warm/shard chain can mix tiers freely.
+template <class ObsT>
+RunResult segmentWithEngine(Interpreter &I, const BytecodeModule *Bc,
+                            ObsT &Obs, const InterpCheckpoint *From,
+                            uint64_t UntilInstrs,
+                            InterpCheckpoint *Out = nullptr) {
+  return Bc ? I.runBytecodeSegment(*Bc, Obs, From, UntilInstrs, Out)
+            : I.runFastSegment(Obs, From, UntilInstrs, Out);
+}
+
 } // namespace detail
 
 /// Sharded call-loop graph profiling: byte-identical to buildCallLoopGraph
 /// for any shard count. The warming chain carries interpreter + tracker
 /// only. \p ShardSeconds, when non-null, receives per-shard wall times.
+/// \p Bc, when non-null, runs every segment on the bytecode tier.
 inline std::unique_ptr<CallLoopGraph> buildCallLoopGraphSharded(
     const Binary &B, const LoopIndex &Loops, const WorkloadInput &In,
     unsigned NShards,
     uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max(),
-    std::vector<double> *ShardSeconds = nullptr) {
+    std::vector<double> *ShardSeconds = nullptr,
+    const BytecodeModule *Bc = nullptr) {
   if (NShards <= 1) {
     auto T0 = std::chrono::steady_clock::now();
-    auto G = buildCallLoopGraph(B, Loops, In, MaxInstrs);
+    auto G = buildCallLoopGraph(B, Loops, In, MaxInstrs, /*Extra=*/nullptr,
+                                Bc);
     if (ShardSeconds)
       ShardSeconds->push_back(detail::secondsSince(T0));
     return G;
   }
 
-  ShardPlan Plan = planShards(B, In, NShards, MaxInstrs);
+  ShardPlan Plan = planShards(B, In, NShards, MaxInstrs, Bc);
   auto G = std::make_unique<CallLoopGraph>(B, Loops);
 
   // Warm: interpreter + bare tracker (no listeners, no profile target).
@@ -141,7 +159,8 @@ inline std::unique_ptr<CallLoopGraph> buildCallLoopGraphSharded(
     Tracker.onRunStart(B, In);
     const InterpCheckpoint *From = nullptr;
     for (unsigned S = 0; S + 1 < NShards; ++S) {
-      Interp.runFastSegment(Tracker, From, Plan.Until[S], &Cks[S].Interp);
+      detail::segmentWithEngine(Interp, Bc, Tracker, From, Plan.Until[S],
+                                &Cks[S].Interp);
       Cks[S].Seed = In.seed();
       Cks[S].HasTracker = true;
       Cks[S].Tracker = Tracker.saveState();
@@ -167,13 +186,14 @@ inline std::unique_ptr<CallLoopGraph> buildCallLoopGraphSharded(
         RunResult R;
         if (S == 0) {
           Tracker.onRunStart(B, In);
-          R = Interp.runFastSegment(Tracker, nullptr, Plan.Until[0]);
+          R = detail::segmentWithEngine(Interp, Bc, Tracker, nullptr,
+                                        Plan.Until[0]);
         } else {
           bool OK = Tracker.restoreState(Cks[S - 1].Tracker);
           assert(OK && "tracker checkpoint does not fit the binary");
           (void)OK;
-          R = Interp.runFastSegment(Tracker, &Cks[S - 1].Interp,
-                                    Plan.Until[S]);
+          R = detail::segmentWithEngine(Interp, Bc, Tracker,
+                                        &Cks[S - 1].Interp, Plan.Until[S]);
         }
         if (S + 1 == NShards)
           Tracker.onRunEnd(R.TotalInstrs); // Pop-all, as run() does.
@@ -200,23 +220,26 @@ inline std::unique_ptr<CallLoopGraph> buildCallLoopGraphSharded(
 
 /// Sharded marker-instrumented run: intervals, firings, and run totals
 /// byte-identical to runMarkerIntervals for any shard count.
+/// \p Bc, when non-null, runs every segment on the bytecode tier.
 inline MarkerRun runMarkerIntervalsSharded(
     const Binary &B, const LoopIndex &Loops, const CallLoopGraph &G,
     const MarkerSet &M, const WorkloadInput &In, bool CollectBbv,
     bool RecordFirings, unsigned NShards,
     uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max(),
     const PerfModelOptions &PerfOpts = PerfModelOptions(),
-    std::vector<double> *ShardSeconds = nullptr) {
+    std::vector<double> *ShardSeconds = nullptr,
+    const BytecodeModule *Bc = nullptr) {
   if (NShards <= 1) {
     auto T0 = std::chrono::steady_clock::now();
-    MarkerRun Out = runMarkerIntervals(B, Loops, G, M, In, CollectBbv,
-                                       RecordFirings, MaxInstrs, PerfOpts);
+    MarkerRun Out =
+        runMarkerIntervals(B, Loops, G, M, In, CollectBbv, RecordFirings,
+                           MaxInstrs, PerfOpts, Bc);
     if (ShardSeconds)
       ShardSeconds->push_back(detail::secondsSince(T0));
     return Out;
   }
 
-  ShardPlan Plan = planShards(B, In, NShards, MaxInstrs);
+  ShardPlan Plan = planShards(B, In, NShards, MaxInstrs, Bc);
 
   // Warm: the full observer stack must run (cache and predictor contents
   // are history-dependent); its outputs are discarded, only boundary
@@ -236,7 +259,8 @@ inline MarkerRun runMarkerIntervalsSharded(
     Mux.onRunStart(B, In);
     const InterpCheckpoint *From = nullptr;
     for (unsigned S = 0; S + 1 < NShards; ++S) {
-      Interp.runFastSegment(Mux, From, Plan.Until[S], &Cks[S].Interp);
+      detail::segmentWithEngine(Interp, Bc, Mux, From, Plan.Until[S],
+                                &Cks[S].Interp);
       Cks[S].Seed = In.seed();
       Cks[S].HasTracker = true;
       Cks[S].Tracker = Tracker.saveState();
@@ -279,7 +303,8 @@ inline MarkerRun runMarkerIntervalsSharded(
         Interpreter Interp(B, In);
         if (S == 0) {
           Mux.onRunStart(B, In);
-          O->R = Interp.runFastSegment(Mux, nullptr, Plan.Until[0]);
+          O->R = detail::segmentWithEngine(Interp, Bc, Mux, nullptr,
+                                           Plan.Until[0]);
         } else {
           const PipelineCheckpoint &C = Cks[S - 1];
           bool OK = Tracker.restoreState(C.Tracker) &&
@@ -288,7 +313,8 @@ inline MarkerRun runMarkerIntervalsSharded(
           assert(OK && "checkpoint does not fit this pipeline");
           (void)OK;
           Ivb.restoreState(C.Interval);
-          O->R = Interp.runFastSegment(Mux, &C.Interp, Plan.Until[S]);
+          O->R = detail::segmentWithEngine(Interp, Bc, Mux, &C.Interp,
+                                           Plan.Until[S]);
         }
         if (S + 1 == NShards)
           Mux.onRunEnd(O->R.TotalInstrs); // Pop-all + final interval cut.
@@ -313,23 +339,25 @@ inline MarkerRun runMarkerIntervalsSharded(
 }
 
 /// Sharded fixed-length interval run: byte-identical to runFixedIntervals
-/// for any shard count.
+/// for any shard count. \p Bc, when non-null, runs every segment on the
+/// bytecode tier.
 inline std::vector<IntervalRecord> runFixedIntervalsSharded(
     const Binary &B, const WorkloadInput &In, uint64_t Len, bool CollectBbv,
     unsigned NShards,
     uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max(),
     const PerfModelOptions &PerfOpts = PerfModelOptions(),
-    std::vector<double> *ShardSeconds = nullptr) {
+    std::vector<double> *ShardSeconds = nullptr,
+    const BytecodeModule *Bc = nullptr) {
   if (NShards <= 1) {
     auto T0 = std::chrono::steady_clock::now();
-    auto Out =
-        runFixedIntervals(B, In, Len, CollectBbv, MaxInstrs, PerfOpts);
+    auto Out = runFixedIntervals(B, In, Len, CollectBbv, MaxInstrs, PerfOpts,
+                                 Bc);
     if (ShardSeconds)
       ShardSeconds->push_back(detail::secondsSince(T0));
     return Out;
   }
 
-  ShardPlan Plan = planShards(B, In, NShards, MaxInstrs);
+  ShardPlan Plan = planShards(B, In, NShards, MaxInstrs, Bc);
 
   std::vector<PipelineCheckpoint> Cks(NShards - 1);
   {
@@ -342,7 +370,8 @@ inline std::vector<IntervalRecord> runFixedIntervalsSharded(
     Mux.onRunStart(B, In);
     const InterpCheckpoint *From = nullptr;
     for (unsigned S = 0; S + 1 < NShards; ++S) {
-      Interp.runFastSegment(Mux, From, Plan.Until[S], &Cks[S].Interp);
+      detail::segmentWithEngine(Interp, Bc, Mux, From, Plan.Until[S],
+                                &Cks[S].Interp);
       Cks[S].Seed = In.seed();
       Cks[S].HasInterval = true;
       Cks[S].Interval = Ivb.saveState();
@@ -370,14 +399,16 @@ inline std::vector<IntervalRecord> runFixedIntervalsSharded(
         RunResult R;
         if (S == 0) {
           Mux.onRunStart(B, In);
-          R = Interp.runFastSegment(Mux, nullptr, Plan.Until[0]);
+          R = detail::segmentWithEngine(Interp, Bc, Mux, nullptr,
+                                        Plan.Until[0]);
         } else {
           const PipelineCheckpoint &C = Cks[S - 1];
           bool OK = Perf.restoreState(C.Perf);
           assert(OK && "perf checkpoint does not fit this model");
           (void)OK;
           Ivb.restoreState(C.Interval);
-          R = Interp.runFastSegment(Mux, &C.Interp, Plan.Until[S]);
+          R = detail::segmentWithEngine(Interp, Bc, Mux, &C.Interp,
+                                        Plan.Until[S]);
         }
         if (S + 1 == NShards)
           Mux.onRunEnd(R.TotalInstrs);

@@ -1,0 +1,671 @@
+//===- vm/Bytecode.cpp - Flat bytecode execution tier ---------------------===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Bytecode.h"
+
+#include "support/Metrics.h"
+#include "support/Trace.h"
+#include "vm/Interpreter.h"
+
+#include <cassert>
+#include <limits>
+
+namespace spm {
+
+//===----------------------------------------------------------------------===//
+// Compiler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One-shot tree-to-bytecode compiler. Walks the exec tree exactly in
+/// execution order, emitting ops and recording, for every safepoint, the
+/// static part of the ResumeFrame path from the enclosing function's root
+/// down to the op (the dynamic parts — loop trips/iterations, chosen
+/// callees — are filled from the runtime stacks at capture time).
+class BcCompiler {
+public:
+  explicit BcCompiler(const Binary &Bin) : Bin(Bin) {}
+
+  BytecodeModule compile() {
+    M.NumBlocks = static_cast<uint32_t>(Bin.Blocks.size());
+    M.NumTripSites = Bin.NumTripSites;
+    M.NumCondSites = Bin.NumCondSites;
+    M.NumRRSites = Bin.NumRRSites;
+    for (uint32_t F = 0; F < Bin.Funcs.size(); ++F)
+      compileFunction(Bin.func(F));
+    return std::move(M);
+  }
+
+private:
+  const Binary &Bin;
+  BytecodeModule M;
+  /// Frame path from the current function's root to the construct being
+  /// compiled (Seq/construct frames only; the Func frame is implicit).
+  std::vector<BcFrameTpl> Path;
+
+  uint32_t pc() const { return static_cast<uint32_t>(M.Ops.size()); }
+
+  uint32_t emit(BcOpcode Op, uint32_t A = 0, uint32_t B = 0) {
+    M.Ops.push_back({Op, A, B});
+    return static_cast<uint32_t>(M.Ops.size() - 1);
+  }
+
+  /// Records a capture descriptor for the current Path with the given
+  /// enclosing-function step.
+  uint32_t addCapture(uint8_t FuncStep) {
+    BcCapture C;
+    C.FuncStep = FuncStep;
+    C.Path = Path;
+    for (const BcFrameTpl &F : C.Path)
+      if (F.K == ResumeFrame::Kind::Loop)
+        ++C.NumLoops;
+    M.Captures.push_back(std::move(C));
+    return static_cast<uint32_t>(M.Captures.size() - 1);
+  }
+
+  /// Capture for an op inside the function body: Path + one terminal frame.
+  uint32_t captureAt(const BcFrameTpl &Terminal) {
+    Path.push_back(Terminal);
+    uint32_t Idx = addCapture(ResumeFrame::StepBody);
+    Path.pop_back();
+    return Idx;
+  }
+
+  void compileFunction(const LoweredFunction &F) {
+    assert(Path.empty() && "frame path must reset between functions");
+    BcFunc BF;
+    uint32_t EntryCap = addCapture(ResumeFrame::StepEntry);
+    BF.EntryPc = emit(BcOpcode::Block, F.EntryBlock, EntryCap);
+    BF.Body = compileNodes(F.Body);
+    uint32_t ExitCap = addCapture(ResumeFrame::StepExit);
+    BF.ExitPc = emit(BcOpcode::Block, F.ExitBlock, ExitCap);
+    BF.EndPc = emit(BcOpcode::Ret);
+    M.Funcs.push_back(std::move(BF));
+  }
+
+  std::vector<uint32_t> compileNodes(const std::vector<ExecNode> &Nodes) {
+    std::vector<uint32_t> Ordinals;
+    Ordinals.reserve(Nodes.size());
+    for (size_t I = 0; I < Nodes.size(); ++I) {
+      Path.push_back({ResumeFrame::Kind::Seq, 0,
+                      static_cast<uint32_t>(I), false});
+      Ordinals.push_back(compileNode(Nodes[I]));
+      Path.pop_back();
+    }
+    return Ordinals;
+  }
+
+  uint32_t compileNode(const ExecNode &N) {
+    BcNodeIndex Idx;
+    Idx.K = N.K;
+    switch (N.K) {
+    case ExecNode::Kind::Code:
+      Idx.BlockPc = emit(BcOpcode::Block, N.Block,
+                         captureAt({ResumeFrame::Kind::Code, 0, 0, false}));
+      break;
+
+    case ExecNode::Kind::Loop: {
+      BcPayload P;
+      P.K = ExecNode::Kind::Loop;
+      P.Trip = N.Trip;
+      P.TripSite = N.TripSite;
+      P.HeaderBlock = N.Block;
+      P.LatchBlock = N.LatchBlock;
+      M.Payloads.push_back(std::move(P));
+      uint32_t Pay = static_cast<uint32_t>(M.Payloads.size() - 1);
+
+      uint32_t BeginPc = emit(BcOpcode::LoopBegin, Pay, 0); // B patched below.
+      Idx.BlockPc =
+          emit(BcOpcode::Block, N.Block,
+               captureAt({ResumeFrame::Kind::Loop, ResumeFrame::StepHeader,
+                          0, false}));
+      Path.push_back({ResumeFrame::Kind::Loop, ResumeFrame::StepBody, 0,
+                      false});
+      Idx.Children = compileNodes(N.Children);
+      Path.pop_back();
+      emit(BcOpcode::Block, N.LatchBlock,
+           captureAt({ResumeFrame::Kind::Loop, ResumeFrame::StepLatch, 0,
+                      false}));
+      Idx.AuxPc = emit(BcOpcode::LoopBack, Pay, Idx.BlockPc);
+      M.Ops[BeginPc].B = Idx.AuxPc + 1; // Zero-trip loops skip everything.
+      break;
+    }
+
+    case ExecNode::Kind::If: {
+      BcPayload P;
+      P.K = ExecNode::Kind::If;
+      P.Cond = N.Cond;
+      P.CondSite = N.CondSite;
+      P.CondBlock = N.Block;
+      M.Payloads.push_back(std::move(P));
+      uint32_t Pay = static_cast<uint32_t>(M.Payloads.size() - 1);
+
+      Idx.BlockPc =
+          emit(BcOpcode::Block, N.Block,
+               captureAt({ResumeFrame::Kind::If, ResumeFrame::StepCond, 0,
+                          false}));
+      Idx.AuxPc = emit(BcOpcode::IfBegin, Pay, 0); // B patched below.
+      Path.push_back({ResumeFrame::Kind::If, ResumeFrame::StepBody, 0,
+                      /*Flag=*/true});
+      Idx.Children = compileNodes(N.Children);
+      Path.pop_back();
+      if (N.ElseChildren.empty()) {
+        M.Ops[Idx.AuxPc].B = pc(); // Not-taken lands on the join directly.
+      } else {
+        uint32_t JumpPc = emit(BcOpcode::Jump, 0, 0);
+        M.Ops[Idx.AuxPc].B = pc();
+        Path.push_back({ResumeFrame::Kind::If, ResumeFrame::StepBody, 0,
+                        /*Flag=*/false});
+        Idx.ElseChildren = compileNodes(N.ElseChildren);
+        Path.pop_back();
+        M.Ops[JumpPc].B = pc();
+      }
+      break;
+    }
+
+    case ExecNode::Kind::Call: {
+      BcPayload P;
+      P.K = ExecNode::Kind::Call;
+      P.Candidates = N.Candidates;
+      P.CallProb = N.CallProb;
+      P.RoundRobin = N.RoundRobin;
+      P.RRSite = N.RRSite;
+      P.SiteBlock = N.Block;
+      M.Payloads.push_back(std::move(P));
+      uint32_t Pay = static_cast<uint32_t>(M.Payloads.size() - 1);
+
+      Idx.BlockPc =
+          emit(BcOpcode::Block, N.Block,
+               captureAt({ResumeFrame::Kind::Call, ResumeFrame::StepSite, 0,
+                          false}));
+      // The Call op's capture ends in a Call/StepBody frame whose callee
+      // (Id) is dynamic — filled from the call stack at capture time.
+      Idx.AuxPc =
+          emit(BcOpcode::Call, Pay,
+               captureAt({ResumeFrame::Kind::Call, ResumeFrame::StepBody, 0,
+                          false}));
+      break;
+    }
+    }
+    M.Nodes.push_back(std::move(Idx));
+    return static_cast<uint32_t>(M.Nodes.size() - 1);
+  }
+};
+
+} // namespace
+
+BytecodeModule compileBytecode(const Binary &B) {
+  // The span carries compile time into the Chrome-trace timeline; the
+  // counters follow the gated-mutator convention for library code (see
+  // Metrics.h). Harness-level timing (bench --profile) wraps this call in
+  // its own ScopedMetricTimer.
+  SPM_TRACE_SPAN("vm.bc_compile");
+  BytecodeModule M = BcCompiler(B).compile();
+  if (spmTraceEnabled()) {
+    metrics().counter("vm.bc_compiles").forceAdd(1);
+    metrics().counter("vm.bc_ops_emitted").forceAdd(M.Ops.size());
+  }
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string atOp(size_t Pc) { return "op " + std::to_string(Pc) + ": "; }
+
+const char *payloadKindName(ExecNode::Kind K) {
+  switch (K) {
+  case ExecNode::Kind::Code:
+    return "Code";
+  case ExecNode::Kind::Loop:
+    return "Loop";
+  case ExecNode::Kind::If:
+    return "If";
+  case ExecNode::Kind::Call:
+    return "Call";
+  }
+  return "<invalid>";
+}
+
+} // namespace
+
+bool BytecodeModule::verify(const Binary &B, std::string *Error) const {
+  auto Fail = [&](const std::string &Why) {
+    if (Error)
+      *Error = Why;
+    return false;
+  };
+
+  // The module must target the binary it runs on: cross-check the
+  // structural counts recorded at compile time.
+  if (NumBlocks != B.Blocks.size() || NumTripSites != B.NumTripSites ||
+      NumCondSites != B.NumCondSites || NumRRSites != B.NumRRSites)
+    return Fail("module was compiled for a different binary "
+                "(structural counts do not match)");
+  if (Funcs.size() != B.Funcs.size())
+    return Fail("function count mismatch: module has " +
+                std::to_string(Funcs.size()) + ", binary has " +
+                std::to_string(B.Funcs.size()));
+  if (Funcs.empty() || Ops.empty())
+    return Fail("empty module");
+
+  // Region layout: the op array must be exactly partitioned by the
+  // per-function regions, in function-id order, with no gaps. This catches
+  // both truncation (a region reaching past the op array) and trailing
+  // garbage (ops after the last region).
+  uint32_t Expect = 0;
+  for (size_t F = 0; F < Funcs.size(); ++F) {
+    const BcFunc &Fn = Funcs[F];
+    std::string Where = "function " + std::to_string(F) + ": ";
+    if (Fn.EntryPc != Expect)
+      return Fail(Where + "region starts at pc " +
+                  std::to_string(Fn.EntryPc) + ", expected " +
+                  std::to_string(Expect));
+    if (!(Fn.EntryPc < Fn.ExitPc && Fn.ExitPc < Fn.EndPc))
+      return Fail(Where + "region anchors out of order");
+    if (Fn.EndPc >= Ops.size())
+      return Fail(Where + "region truncated: EndPc " +
+                  std::to_string(Fn.EndPc) + " reaches past the op array (" +
+                  std::to_string(Ops.size()) + " ops)");
+    Expect = Fn.EndPc + 1;
+  }
+  if (Expect != Ops.size())
+    return Fail("trailing garbage: " + std::to_string(Ops.size() - Expect) +
+                " op(s) after the last function region");
+
+  // Capture descriptors must be structurally sound before any Block/Call op
+  // may reference them.
+  auto checkCapture = [&](uint32_t Idx, size_t Pc) {
+    if (Idx >= Captures.size()) {
+      Fail(atOp(Pc) + "capture index " + std::to_string(Idx) +
+           " out of range (" + std::to_string(Captures.size()) +
+           " captures)");
+      return false;
+    }
+    const BcCapture &C = Captures[Idx];
+    if (C.FuncStep > ResumeFrame::StepExit) {
+      Fail(atOp(Pc) + "capture has invalid function step");
+      return false;
+    }
+    uint32_t Loops = 0;
+    for (const BcFrameTpl &Fr : C.Path) {
+      if (static_cast<uint8_t>(Fr.K) >
+              static_cast<uint8_t>(ResumeFrame::Kind::Call) ||
+          Fr.K == ResumeFrame::Kind::Func) {
+        Fail(atOp(Pc) + "capture path has invalid frame kind");
+        return false;
+      }
+      if (Fr.Step > ResumeFrame::StepExit) {
+        Fail(atOp(Pc) + "capture path has invalid frame step");
+        return false;
+      }
+      if (Fr.K == ResumeFrame::Kind::Loop)
+        ++Loops;
+    }
+    if (Loops != C.NumLoops) {
+      Fail(atOp(Pc) + "capture loop count " + std::to_string(C.NumLoops) +
+           " does not match its path (" + std::to_string(Loops) + ")");
+      return false;
+    }
+    return true;
+  };
+
+  auto checkPayload = [&](uint32_t Idx, ExecNode::Kind K,
+                          size_t Pc) -> const BcPayload * {
+    if (Idx >= Payloads.size()) {
+      Fail(atOp(Pc) + "payload index " + std::to_string(Idx) +
+           " out of range (" + std::to_string(Payloads.size()) +
+           " payloads)");
+      return nullptr;
+    }
+    const BcPayload &P = Payloads[Idx];
+    if (P.K != K) {
+      Fail(atOp(Pc) + "payload kind mismatch: op requires " +
+           payloadKindName(K) + ", payload " + std::to_string(Idx) +
+           " is " + payloadKindName(P.K));
+      return nullptr;
+    }
+    switch (K) {
+    case ExecNode::Kind::Loop:
+      if (P.HeaderBlock >= B.Blocks.size() ||
+          P.LatchBlock >= B.Blocks.size()) {
+        Fail(atOp(Pc) + "loop payload block id out of range");
+        return nullptr;
+      }
+      if (P.Trip.K == TripCountSpec::Kind::Schedule &&
+          P.TripSite >= B.NumTripSites) {
+        Fail(atOp(Pc) + "loop payload trip site out of range");
+        return nullptr;
+      }
+      break;
+    case ExecNode::Kind::If:
+      if (P.CondBlock >= B.Blocks.size()) {
+        Fail(atOp(Pc) + "if payload block id out of range");
+        return nullptr;
+      }
+      if (P.Cond.K == CondSpec::Kind::Periodic &&
+          P.CondSite >= B.NumCondSites) {
+        Fail(atOp(Pc) + "if payload cond site out of range");
+        return nullptr;
+      }
+      break;
+    case ExecNode::Kind::Call:
+      if (P.SiteBlock >= B.Blocks.size()) {
+        Fail(atOp(Pc) + "call payload block id out of range");
+        return nullptr;
+      }
+      if (P.Candidates.empty()) {
+        Fail(atOp(Pc) + "call payload has no candidates");
+        return nullptr;
+      }
+      for (const auto &Cand : P.Candidates)
+        if (Cand.Callee >= Funcs.size()) {
+          Fail(atOp(Pc) + "call payload callee " +
+               std::to_string(Cand.Callee) + " out of range");
+          return nullptr;
+        }
+      if (P.RoundRobin && P.RRSite >= B.NumRRSites) {
+        Fail(atOp(Pc) + "call payload round-robin site out of range");
+        return nullptr;
+      }
+      break;
+    case ExecNode::Kind::Code:
+      break;
+    }
+    return &P;
+  };
+
+  // Per-op checks, function by function: every jump target must stay inside
+  // its own function region (control only ever crosses regions through
+  // Call/Ret), and every block/site/payload/capture index must be in range
+  // and of the kind the op requires.
+  for (size_t F = 0; F < Funcs.size(); ++F) {
+    const BcFunc &Fn = Funcs[F];
+    const LoweredFunction &LF = B.func(static_cast<uint32_t>(F));
+
+    if (Ops[Fn.EntryPc].Op != BcOpcode::Block ||
+        Ops[Fn.EntryPc].A != LF.EntryBlock)
+      return Fail(atOp(Fn.EntryPc) +
+                  "region does not start with the function's entry block");
+    if (Ops[Fn.ExitPc].Op != BcOpcode::Block ||
+        Ops[Fn.ExitPc].A != LF.ExitBlock)
+      return Fail(atOp(Fn.ExitPc) +
+                  "exit anchor is not the function's exit block");
+
+    for (uint32_t Pc = Fn.EntryPc; Pc <= Fn.EndPc; ++Pc) {
+      const BcOp &Op = Ops[Pc];
+      if (static_cast<uint8_t>(Op.Op) >
+          static_cast<uint8_t>(BcOpcode::Ret))
+        return Fail(atOp(Pc) + "invalid opcode");
+      if (Pc == Fn.EndPc) {
+        if (Op.Op != BcOpcode::Ret)
+          return Fail(atOp(Pc) + "region does not end with Ret");
+        continue;
+      }
+      switch (Op.Op) {
+      case BcOpcode::Block:
+        if (Op.A >= B.Blocks.size())
+          return Fail(atOp(Pc) + "block id " + std::to_string(Op.A) +
+                      " out of range (" + std::to_string(B.Blocks.size()) +
+                      " blocks)");
+        if (B.Blocks[Op.A].FuncId != F)
+          return Fail(atOp(Pc) + "block " + std::to_string(Op.A) +
+                      " belongs to function " +
+                      std::to_string(B.Blocks[Op.A].FuncId) + ", not " +
+                      std::to_string(F));
+        if (!checkCapture(Op.B, Pc))
+          return false;
+        break;
+      case BcOpcode::LoopBegin:
+        if (!checkPayload(Op.A, ExecNode::Kind::Loop, Pc))
+          return false;
+        // The zero-trip exit lands on the op after the LoopBack, still
+        // inside this region (at most the exit Block).
+        if (Op.B <= Pc || Op.B > Fn.EndPc)
+          return Fail(atOp(Pc) + "loop exit target " +
+                      std::to_string(Op.B) + " escapes its function region");
+        break;
+      case BcOpcode::LoopBack:
+        if (!checkPayload(Op.A, ExecNode::Kind::Loop, Pc))
+          return false;
+        if (Op.B >= Pc || Op.B < Fn.EntryPc ||
+            Ops[Op.B].Op != BcOpcode::Block)
+          return Fail(atOp(Pc) + "back-edge target " +
+                      std::to_string(Op.B) +
+                      " is not a preceding Block in the same function");
+        break;
+      case BcOpcode::IfBegin:
+        if (!checkPayload(Op.A, ExecNode::Kind::If, Pc))
+          return false;
+        if (Op.B <= Pc || Op.B > Fn.EndPc)
+          return Fail(atOp(Pc) + "else/join target " +
+                      std::to_string(Op.B) + " escapes its function region");
+        break;
+      case BcOpcode::Jump:
+        if (Op.B <= Pc || Op.B > Fn.EndPc)
+          return Fail(atOp(Pc) + "jump target " + std::to_string(Op.B) +
+                      " escapes its function region");
+        break;
+      case BcOpcode::Call:
+        if (!checkPayload(Op.A, ExecNode::Kind::Call, Pc))
+          return false;
+        if (!checkCapture(Op.B, Pc))
+          return false;
+        break;
+      case BcOpcode::Ret:
+        return Fail(atOp(Pc) + "stray Ret inside a function region");
+      }
+    }
+  }
+
+  // Resume index: node ordinals and their op anchors. Only checkpoint
+  // resume walks this, but a malformed module must not get that far.
+  for (size_t I = 0; I < Nodes.size(); ++I) {
+    const BcNodeIndex &N = Nodes[I];
+    std::string Where = "node " + std::to_string(I) + ": ";
+    if (N.BlockPc >= Ops.size() || Ops[N.BlockPc].Op != BcOpcode::Block)
+      return Fail(Where + "BlockPc does not address a Block op");
+    switch (N.K) {
+    case ExecNode::Kind::Code:
+      break;
+    case ExecNode::Kind::Loop:
+      if (N.AuxPc >= Ops.size() || Ops[N.AuxPc].Op != BcOpcode::LoopBack)
+        return Fail(Where + "AuxPc does not address a LoopBack op");
+      break;
+    case ExecNode::Kind::If:
+      if (N.AuxPc >= Ops.size() || Ops[N.AuxPc].Op != BcOpcode::IfBegin)
+        return Fail(Where + "AuxPc does not address an IfBegin op");
+      break;
+    case ExecNode::Kind::Call:
+      if (N.AuxPc >= Ops.size() || Ops[N.AuxPc].Op != BcOpcode::Call)
+        return Fail(Where + "AuxPc does not address a Call op");
+      break;
+    }
+    for (uint32_t C : N.Children)
+      if (C >= Nodes.size())
+        return Fail(Where + "child ordinal out of range");
+    for (uint32_t C : N.ElseChildren)
+      if (C >= Nodes.size())
+        return Fail(Where + "else-child ordinal out of range");
+  }
+  for (size_t F = 0; F < Funcs.size(); ++F)
+    for (uint32_t O : Funcs[F].Body)
+      if (O >= Nodes.size())
+        return Fail("function " + std::to_string(F) +
+                    ": body node ordinal out of range");
+
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint mapping: suspended bytecode state <-> ResumeFrame stack
+//===----------------------------------------------------------------------===//
+
+void captureResumeFrames(const BytecodeModule &M, const BcExecState &St,
+                         std::vector<ResumeFrame> &Out) {
+  assert(M.Ops[St.Pc].Op == BcOpcode::Block &&
+         "suspension must sit on a Block op (the only safepoint)");
+  size_t LoopIdx = 0;
+
+  // Expands one capture descriptor into concrete frames: the Func frame for
+  // the level, then the static path with loop trips/iterations consumed
+  // from the runtime loop stack (outermost-first, matching push order) and
+  // dynamic callees filled from \p DynCallee.
+  auto appendLevel = [&](uint32_t FuncId, uint32_t CaptureIdx,
+                         uint32_t DynCallee) {
+    const BcCapture &C = M.Captures[CaptureIdx];
+    Out.push_back(
+        {ResumeFrame::Kind::Func, C.FuncStep, FuncId, 0, 0, false});
+    for (const BcFrameTpl &T : C.Path) {
+      ResumeFrame F;
+      F.K = T.K;
+      F.Step = T.Step;
+      F.Id = T.Id;
+      F.Flag = T.Flag;
+      if (T.K == ResumeFrame::Kind::Loop) {
+        assert(LoopIdx < St.Loops.size() && "loop stack underflow");
+        F.Trip = St.Loops[LoopIdx].Trip;
+        F.Iter = St.Loops[LoopIdx].Iter;
+        ++LoopIdx;
+      } else if (T.K == ResumeFrame::Kind::Call &&
+                 T.Step == ResumeFrame::StepBody) {
+        F.Id = DynCallee;
+      }
+      Out.push_back(F);
+    }
+  };
+
+  uint32_t FuncId = 0;
+  for (const BcExecState::CallEntry &C : St.Calls) {
+    appendLevel(FuncId, C.Capture, C.Callee);
+    FuncId = C.Callee;
+  }
+  appendLevel(FuncId, M.Ops[St.Pc].B, 0);
+  assert(LoopIdx == St.Loops.size() &&
+         "capture consumed a different number of loops than are live");
+}
+
+bool resolveResumePoint(const BytecodeModule &M,
+                        const std::vector<ResumeFrame> &Frames,
+                        BcExecState &Out, std::string *Error) {
+  auto Fail = [&](const char *Why) {
+    if (Error)
+      *Error = Why;
+    return false;
+  };
+  Out = BcExecState();
+  size_t Idx = 0;
+  auto next = [&](ResumeFrame &F) {
+    if (Idx >= Frames.size())
+      return false;
+    F = Frames[Idx++];
+    return true;
+  };
+
+  bool Done = false;
+  while (!Done) {
+    ResumeFrame FF;
+    if (!next(FF))
+      return Fail("truncated frame stack");
+    if (FF.K != ResumeFrame::Kind::Func || FF.Id >= M.Funcs.size())
+      return Fail("expected a function frame");
+    const BcFunc &Fn = M.Funcs[FF.Id];
+    if (FF.Step == ResumeFrame::StepEntry) {
+      Out.Pc = Fn.EntryPc + 1; // Entry block done; continue with the body.
+      Done = true;
+      continue;
+    }
+    if (FF.Step == ResumeFrame::StepExit) {
+      Out.Pc = Fn.ExitPc + 1; // Exit block done; continue at the Ret op.
+      Done = true;
+      continue;
+    }
+    if (FF.Step != ResumeFrame::StepBody)
+      return Fail("function frame has invalid step");
+
+    // Descend the recorded Seq/construct frame pairs down to the boundary
+    // op (or the next call level).
+    const std::vector<uint32_t> *List = &Fn.Body;
+    while (true) {
+      ResumeFrame SF;
+      if (!next(SF))
+        return Fail("truncated frame stack");
+      if (SF.K != ResumeFrame::Kind::Seq || SF.Id >= List->size())
+        return Fail("expected an in-range child-index frame");
+      const BcNodeIndex &N = M.Nodes[(*List)[SF.Id]];
+      ResumeFrame NF;
+      if (!next(NF))
+        return Fail("truncated frame stack");
+
+      if (NF.K == ResumeFrame::Kind::Code) {
+        if (N.K != ExecNode::Kind::Code)
+          return Fail("frame kind does not match the node it addresses");
+        Out.Pc = N.BlockPc + 1; // The code block was the boundary.
+        Done = true;
+        break;
+      }
+      if (NF.K == ResumeFrame::Kind::Loop) {
+        if (N.K != ExecNode::Kind::Loop)
+          return Fail("frame kind does not match the node it addresses");
+        Out.Loops.push_back({NF.Trip, NF.Iter});
+        if (NF.Step == ResumeFrame::StepHeader) {
+          Out.Pc = N.BlockPc + 1; // Header done; continue with the body.
+          Done = true;
+          break;
+        }
+        if (NF.Step == ResumeFrame::StepLatch) {
+          Out.Pc = N.AuxPc; // Latch done; LoopBack emits the pending branch.
+          Done = true;
+          break;
+        }
+        if (NF.Step != ResumeFrame::StepBody)
+          return Fail("loop frame has invalid step");
+        List = &N.Children;
+        continue;
+      }
+      if (NF.K == ResumeFrame::Kind::If) {
+        if (N.K != ExecNode::Kind::If)
+          return Fail("frame kind does not match the node it addresses");
+        if (NF.Step == ResumeFrame::StepCond) {
+          Out.Pc = N.AuxPc; // Cond block done; IfBegin re-draws the outcome.
+          Done = true;
+          break;
+        }
+        if (NF.Step != ResumeFrame::StepBody)
+          return Fail("if frame has invalid step");
+        List = NF.Flag ? &N.Children : &N.ElseChildren;
+        continue;
+      }
+      if (NF.K == ResumeFrame::Kind::Call) {
+        if (N.K != ExecNode::Kind::Call)
+          return Fail("frame kind does not match the node it addresses");
+        if (NF.Step == ResumeFrame::StepSite) {
+          Out.Pc = N.AuxPc; // Site block done; Call op re-draws the callee.
+          Done = true;
+          break;
+        }
+        if (NF.Step != ResumeFrame::StepBody || NF.Id >= M.Funcs.size())
+          return Fail("call frame has invalid step or callee");
+        // Push the call level and continue with the callee's Func frame.
+        Out.Calls.push_back({N.AuxPc + 1, NF.Id, M.Ops[N.AuxPc].B});
+        break;
+      }
+      return Fail("unexpected frame kind inside a function body");
+    }
+  }
+  if (Idx != Frames.size())
+    return Fail("trailing frames after the resume point");
+  if (Out.Calls.size() + 1 > Interpreter::MaxCallDepth)
+    return Fail("call nesting exceeds the depth cap");
+  return true;
+}
+
+} // namespace spm

@@ -25,6 +25,7 @@
 #include "support/Metrics.h"
 #include "support/Random.h"
 #include "support/Trace.h"
+#include "vm/Bytecode.h"
 #include "vm/Checkpoint.h"
 #include "vm/EventBatch.h"
 #include "vm/Observer.h"
@@ -32,6 +33,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace spm {
@@ -150,6 +153,31 @@ public:
     return Result;
   }
 
+  /// Bytecode engine: dispatches a compiled module with a flat PC loop
+  /// instead of the exec-tree walk, emitting through the same StaticEmitter
+  /// so any runFast-compatible observer works unchanged. The event stream
+  /// is byte-identical to run()/runFast() by construction — identical visit
+  /// order, RNG-draw order, and per-site cursor usage. \p M must have been
+  /// compiled from this interpreter's binary; a module that fails verify()
+  /// is rejected with std::invalid_argument before any event is emitted.
+  template <class ObsT>
+  RunResult runBytecode(const BytecodeModule &M, ObsT &Obs,
+                        uint64_t MaxInstrsIn =
+                            std::numeric_limits<uint64_t>::max()) {
+    SPM_TRACE_SPAN("vm.runBytecode");
+    requireVerified(M);
+    MaxInstrs = MaxInstrsIn;
+    Result = RunResult();
+    dispatchRunStart(Obs, B, In);
+    StaticEmitter<ObsT> E{Obs};
+    BcExecState St;
+    St.Pc = M.Funcs[0].EntryPc;
+    bcDispatchT(M, E, St);
+    dispatchRunEnd(Obs, Result.TotalInstrs);
+    vm_detail::recordRunMetrics("vm.runs_bytecode", Result);
+    return Result;
+  }
+
   //===--------------------------------------------------------------------===//
   // Resumable segments (sharded interpretation; see docs/sharding.md).
   //
@@ -181,6 +209,22 @@ public:
   /// Virtual-dispatch segment (DirectEmitter, like run()).
   RunResult runSegment(ExecutionObserver &Obs, const InterpCheckpoint *From,
                        uint64_t UntilInstrs, InterpCheckpoint *Out = nullptr);
+
+  /// Bytecode segment (same contract as runFastSegment). Safepoints sit at
+  /// block boundaries: a suspension maps the bytecode PC plus the runtime
+  /// loop/call stacks back to the exact ResumeFrame stack the tree walk
+  /// would capture, so checkpoints are interchangeable between tiers — a
+  /// segment suspended here resumes under runFastSegment/runSegment and
+  /// vice versa, with the concatenated streams byte-identical.
+  template <class ObsT>
+  RunResult runBytecodeSegment(const BytecodeModule &M, ObsT &Obs,
+                               const InterpCheckpoint *From,
+                               uint64_t UntilInstrs,
+                               InterpCheckpoint *Out = nullptr) {
+    requireVerified(M);
+    StaticEmitter<ObsT> E{Obs};
+    return bcSegmentT(M, E, From, UntilInstrs, Out);
+  }
 
   /// Resolved byte size of region \p Idx under the constructor's input.
   uint64_t regionSize(uint32_t Idx) const {
@@ -241,6 +285,49 @@ private:
   template <class Emit>
   RunResult segmentT(Emit &E, const InterpCheckpoint *From,
                      uint64_t UntilInstrs, InterpCheckpoint *Out);
+
+  // Bytecode tier: the flat dispatch loop and its segment driver. Both
+  // reuse execBlockT/evalTrip/evalCond/chooseCallee so the event stream and
+  // RNG draw sequence cannot drift from the tree engines.
+  /// Rejects modules that fail verify() with std::invalid_argument; the
+  /// dispatch loop itself does no bounds checks.
+  void requireVerified(const BytecodeModule &M) const {
+    std::string Err;
+    if (!M.verify(B, &Err))
+      throw std::invalid_argument("bytecode module rejected: " + Err);
+  }
+  /// Dispatches from St until completion (true) or budget exhaustion
+  /// (false, St suspended at the boundary Block op).
+  template <class Emit>
+  bool bcDispatchT(const BytecodeModule &M, Emit &E, BcExecState &St);
+  template <class Emit>
+  RunResult bcSegmentT(const BytecodeModule &M, Emit &E,
+                       const InterpCheckpoint *From, uint64_t UntilInstrs,
+                       InterpCheckpoint *Out);
+
+  /// Callee selection for a call site, shared verbatim by the tree and
+  /// bytecode engines (identical RNG draws and round-robin cursor use).
+  uint32_t chooseCallee(const std::vector<CallStmt::Candidate> &Cands,
+                        bool RoundRobin, uint32_t RRSite) {
+    if (Cands.size() == 1)
+      return Cands[0].Callee;
+    if (RoundRobin)
+      return Cands[RRCursor[RRSite]++ % Cands.size()].Callee;
+    uint64_t Total = 0;
+    for (const auto &Cand : Cands)
+      Total += Cand.Weight;
+    if (Total == 0)
+      // All weights zero: the weighted draw is undefined, fall back to a
+      // uniform pick over the candidates.
+      return Cands[Rand.nextBelow(Cands.size())].Callee;
+    uint64_t Pick = Rand.nextBelow(Total);
+    for (const auto &Cand : Cands) {
+      if (Pick < Cand.Weight)
+        return Cand.Callee;
+      Pick -= Cand.Weight;
+    }
+    return Cands.back().Callee;
+  }
 
   void snapshotState(InterpCheckpoint &C) const;
   void restoreState(const InterpCheckpoint &C);
@@ -478,33 +565,7 @@ bool Interpreter::execCallTailT(const ExecNode &N, const LoweredBlock &Site,
   if (Depth + 1 >= MaxCallDepth)
     return true; // Guarded-recursion depth cap; see header comment.
 
-  uint32_t Callee;
-  if (N.Candidates.size() == 1) {
-    Callee = N.Candidates[0].Callee;
-  } else if (N.RoundRobin) {
-    Callee = N.Candidates[RRCursor[N.RRSite]++ % N.Candidates.size()]
-                 .Callee;
-  } else {
-    uint64_t Total = 0;
-    for (const auto &Cand : N.Candidates)
-      Total += Cand.Weight;
-    if (Total == 0) {
-      // All weights zero: the weighted draw is undefined, fall back to a
-      // uniform pick over the candidates.
-      Callee = N.Candidates[Rand.nextBelow(N.Candidates.size())].Callee;
-    } else {
-      uint64_t Pick = Rand.nextBelow(Total);
-      Callee = N.Candidates.back().Callee;
-      for (const auto &Cand : N.Candidates) {
-        if (Pick < Cand.Weight) {
-          Callee = Cand.Callee;
-          break;
-        }
-        Pick -= Cand.Weight;
-      }
-    }
-  }
-
+  uint32_t Callee = chooseCallee(N.Candidates, N.RoundRobin, N.RRSite);
   E.call(Site.termAddr(), Callee);
   if (!execFunctionT(Callee, Depth + 1, E))
     return capCall(ResumeFrame::StepBody, Callee);
@@ -744,6 +805,159 @@ RunResult Interpreter::segmentT(Emit &E, const InterpCheckpoint *From,
     }
   }
   Capture = nullptr;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Bytecode tier dispatch loop and segment driver
+//===----------------------------------------------------------------------===//
+
+template <class Emit>
+bool Interpreter::bcDispatchT(const BytecodeModule &M, Emit &E,
+                              BcExecState &St) {
+  const BcOp *Ops = M.Ops.data();
+  uint32_t Pc = St.Pc;
+  for (;;) {
+    const BcOp Op = Ops[Pc];
+    switch (Op.Op) {
+    case BcOpcode::Block:
+      if (!execBlockT(B.block(Op.A), E)) {
+        St.Pc = Pc; // Suspend at the boundary block — the only safepoint.
+        return false;
+      }
+      ++Pc;
+      break;
+
+    case BcOpcode::LoopBegin: {
+      const BcPayload &P = M.Payloads[Op.A];
+      uint64_t Trip = evalTrip(P.Trip, P.TripSite);
+      if (Trip == 0) {
+        Pc = Op.B; // Zero-trip loops emit no events, exactly like the tree.
+      } else {
+        St.Loops.push_back({Trip, 0});
+        ++Pc;
+      }
+      break;
+    }
+
+    case BcOpcode::LoopBack: {
+      const BcPayload &P = M.Payloads[Op.A];
+      BcExecState::LoopEntry &L = St.Loops.back();
+      bool Taken = L.Iter + 1 < L.Trip;
+      E.branch(B.block(P.LatchBlock).termAddr(),
+               B.block(P.HeaderBlock).Addr, Taken, /*Backward=*/true,
+               /*Conditional=*/true);
+      if (Taken) {
+        ++L.Iter;
+        Pc = Op.B;
+      } else {
+        St.Loops.pop_back();
+        ++Pc;
+      }
+      break;
+    }
+
+    case BcOpcode::IfBegin: {
+      const BcPayload &P = M.Payloads[Op.A];
+      const LoweredBlock &Cond = B.block(P.CondBlock);
+      bool TakeThen = evalCond(P.Cond, P.CondSite);
+      // The lowered branch skips the then-part when the condition is false.
+      E.branch(Cond.termAddr(), Cond.Term.TargetAddr, /*Taken=*/!TakeThen,
+               /*Backward=*/false, /*Conditional=*/true);
+      Pc = TakeThen ? Pc + 1 : Op.B;
+      break;
+    }
+
+    case BcOpcode::Jump:
+      Pc = Op.B;
+      break;
+
+    case BcOpcode::Call: {
+      const BcPayload &P = M.Payloads[Op.A];
+      // Draw order matches execCallTailT: probability gate first, then the
+      // depth cap (St.Calls.size() == the tree walk's Depth).
+      if (P.CallProb < 1.0 && !Rand.nextBool(P.CallProb)) {
+        ++Pc;
+        break;
+      }
+      if (St.Calls.size() + 1 >= MaxCallDepth) {
+        ++Pc; // Guarded-recursion depth cap; see class comment.
+        break;
+      }
+      uint32_t Callee = chooseCallee(P.Candidates, P.RoundRobin, P.RRSite);
+      E.call(B.block(P.SiteBlock).termAddr(), Callee);
+      St.Calls.push_back({Pc + 1, Callee, Op.B});
+      Pc = M.Funcs[Callee].EntryPc;
+      break;
+    }
+
+    case BcOpcode::Ret: {
+      if (St.Calls.empty()) {
+        St.Pc = Pc;
+        return true; // Function 0 returned: program complete.
+      }
+      BcExecState::CallEntry C = St.Calls.back();
+      St.Calls.pop_back();
+      E.ret(C.Callee);
+      Pc = C.ReturnPc;
+      break;
+    }
+    }
+  }
+}
+
+template <class Emit>
+RunResult Interpreter::bcSegmentT(const BytecodeModule &M, Emit &E,
+                                  const InterpCheckpoint *From,
+                                  uint64_t UntilInstrs,
+                                  InterpCheckpoint *Out) {
+  SPM_TRACE_SPAN("vm.segment");
+  if (spmTraceEnabled())
+    metrics().counter("vm.segments").forceAdd(1);
+  MaxInstrs = UntilInstrs;
+  if (From)
+    restoreState(*From);
+  else
+    Result = RunResult();
+
+  bool Finished;
+  BcExecState St;
+  if (From && From->Finished) {
+    Finished = true;
+  } else if (From && !From->Frames.empty() &&
+             Result.TotalInstrs >= MaxInstrs) {
+    // Zero-length segment (boundary at or before the current position):
+    // the suspension point is unchanged.
+    Result.HitInstrLimit = true;
+    if (Out) {
+      snapshotState(*Out);
+      Out->Frames = From->Frames;
+      Out->Finished = false;
+    }
+    return Result;
+  } else {
+    if (From && !From->Frames.empty()) {
+      // The frames may come from either tier — resolve them to a PC plus
+      // runtime stacks. Decisions drawn before the boundary travel in the
+      // rebuilt stacks; the ops at the resume PC re-draw the rest from the
+      // restored RNG at the same position in the draw sequence.
+      std::string Err;
+      if (!resolveResumePoint(M, From->Frames, St, &Err))
+        throw std::invalid_argument(
+            "checkpoint does not address this bytecode module: " + Err);
+    } else {
+      St.Pc = M.Funcs[0].EntryPc;
+    }
+    Finished = bcDispatchT(M, E, St);
+  }
+
+  if (Out) {
+    snapshotState(*Out);
+    Out->Finished = Finished;
+    Out->Frames.clear();
+    if (!Finished)
+      captureResumeFrames(M, St, Out->Frames);
+  }
   return Result;
 }
 

@@ -1,0 +1,575 @@
+//===- tests/bytecodefuzz_test.cpp - bytecode tier differential fuzz ------==//
+//
+// Proves the flat bytecode execution tier (compileBytecode + runBytecode)
+// correct by construction against the tree walk, on hundreds of generated
+// programs (tests/IrGen.h): the full event stream, call-loop graph dumps,
+// BBV interval streams, marker intervals + firing traces, and cache
+// counters must be byte-identical across run / runFast / runBytecode.
+// Also fuzzes checkpoint interchange (a segment suspended under one tier
+// resumes under the other), the sharded drivers' bytecode path, and the
+// module verifier's rejection of malformed modules.
+//
+//===----------------------------------------------------------------------==//
+
+#include "IrGen.h"
+#include "callloop/Profile.h"
+#include "ir/Builder.h"
+#include "ir/Lowering.h"
+#include "markers/Selector.h"
+#include "markers/Sharded.h"
+#include "vm/Bytecode.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+using namespace spm;
+
+namespace {
+
+/// Instruction cap per fuzz run: bounds the recursion-saturating programs
+/// (ungated self-recursion terminates only via MaxCallDepth) while leaving
+/// typical programs room to finish, so both completed and truncated runs
+/// are differentiated.
+constexpr uint64_t FuzzCap = 250'000;
+
+/// Program seeds in the core differential (x2 input seeds each).
+constexpr uint64_t NumPrograms = 200;
+
+void expectSameCounters(const PerfCounters &A, const PerfCounters &B,
+                        const std::string &Ctx) {
+  EXPECT_EQ(A.Instrs, B.Instrs) << Ctx;
+  EXPECT_EQ(A.BaseCycles, B.BaseCycles) << Ctx;
+  EXPECT_EQ(A.L1Accesses, B.L1Accesses) << Ctx;
+  EXPECT_EQ(A.L1Misses, B.L1Misses) << Ctx;
+  EXPECT_EQ(A.L2Accesses, B.L2Accesses) << Ctx;
+  EXPECT_EQ(A.L2Misses, B.L2Misses) << Ctx;
+  EXPECT_EQ(A.Branches, B.Branches) << Ctx;
+  EXPECT_EQ(A.Mispredicts, B.Mispredicts) << Ctx;
+}
+
+void expectSameIntervals(const std::vector<IntervalRecord> &A,
+                         const std::vector<IntervalRecord> &B,
+                         const std::string &Ctx) {
+  ASSERT_EQ(A.size(), B.size()) << Ctx;
+  for (size_t I = 0; I < A.size(); ++I) {
+    std::string C = Ctx + " interval " + std::to_string(I);
+    EXPECT_EQ(A[I].StartInstr, B[I].StartInstr) << C;
+    EXPECT_EQ(A[I].NumInstrs, B[I].NumInstrs) << C;
+    EXPECT_EQ(A[I].PhaseId, B[I].PhaseId) << C;
+    expectSameCounters(A[I].Perf, B[I].Perf, C);
+    ASSERT_EQ(A[I].Vector.size(), B[I].Vector.size()) << C;
+    for (size_t J = 0; J < A[I].Vector.size(); ++J) {
+      EXPECT_EQ(A[I].Vector[J].first, B[I].Vector[J].first) << C;
+      EXPECT_EQ(A[I].Vector[J].second, B[I].Vector[J].second) << C;
+    }
+  }
+}
+
+void expectSameRun(const RunResult &A, const RunResult &B,
+                   const std::string &Ctx) {
+  EXPECT_EQ(A.TotalInstrs, B.TotalInstrs) << Ctx;
+  EXPECT_EQ(A.TotalBlocks, B.TotalBlocks) << Ctx;
+  EXPECT_EQ(A.TotalMemAccesses, B.TotalMemAccesses) << Ctx;
+  EXPECT_EQ(A.HitInstrLimit, B.HitInstrLimit) << Ctx;
+}
+
+/// Records the full event sequence, including addresses, for exact
+/// stream-identity comparisons across tiers.
+class RecordingObserver : public ExecutionObserver {
+public:
+  struct Event {
+    enum class Kind { Block, Mem, Branch, Call, Ret } K;
+    uint64_t A = 0;
+    uint64_t B = 0;
+    bool Flag = false;
+    bool Backward = false;
+
+    bool operator==(const Event &O) const {
+      return K == O.K && A == O.A && B == O.B && Flag == O.Flag &&
+             Backward == O.Backward;
+    }
+  };
+
+  void onBlock(const LoweredBlock &Blk) override {
+    Events.push_back({Event::Kind::Block, Blk.Addr, 0, false, false});
+  }
+  void onMemAccess(uint64_t Addr, bool IsStore) override {
+    Events.push_back({Event::Kind::Mem, Addr, 0, IsStore, false});
+  }
+  void onBranch(uint64_t Pc, uint64_t Target, bool Taken, bool Backward,
+                bool Conditional) override {
+    (void)Conditional;
+    Events.push_back({Event::Kind::Branch, Pc, Target, Taken, Backward});
+  }
+  void onCall(uint64_t Site, uint32_t Callee) override {
+    Events.push_back({Event::Kind::Call, Callee, Site, false, false});
+  }
+  void onReturn(uint32_t Callee) override {
+    Events.push_back({Event::Kind::Ret, Callee, 0, false, false});
+  }
+
+  std::vector<Event> Events;
+};
+
+struct NullObs {};
+
+/// Runs the full three-tier stream differential on one (program, input)
+/// pair. The module is compiled and verified once per call.
+void diffOneProgram(const Binary &B, const BytecodeModule &M,
+                    const WorkloadInput &In, const std::string &Ctx) {
+  RecordingObserver Legacy, Fast, Bc;
+  RunResult R1 = Interpreter(B, In).run(Legacy, FuzzCap);
+  RunResult R2 = Interpreter(B, In).runFast(Fast, FuzzCap);
+  RunResult R3 = Interpreter(B, In).runBytecode(M, Bc, FuzzCap);
+  expectSameRun(R1, R2, Ctx + " (fast)");
+  expectSameRun(R1, R3, Ctx + " (bytecode)");
+  ASSERT_EQ(Legacy.Events.size(), Bc.Events.size()) << Ctx;
+  EXPECT_TRUE(Legacy.Events == Fast.Events) << Ctx << " (fast)";
+  EXPECT_TRUE(Legacy.Events == Bc.Events) << Ctx << " (bytecode)";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Core differential: event streams on generated programs
+//===----------------------------------------------------------------------===//
+
+// 200 generated programs x 2 input seeds: the event stream (blocks with
+// addresses, memory accesses, branches with direction, calls, returns)
+// must be byte-identical across all three tiers, on completed and
+// cap-truncated runs alike.
+TEST(BytecodeFuzz, EventStreamDifferential) {
+  for (uint64_t Seed = 0; Seed < NumPrograms; ++Seed) {
+    auto Prog = irgen::generateProgram(Seed);
+    auto B = lower(*Prog, LoweringOptions::O2());
+    BytecodeModule M = compileBytecode(*B);
+    std::string Err;
+    ASSERT_TRUE(M.verify(*B, &Err)) << "seed " << Seed << ": " << Err;
+    for (uint64_t InSeed : {Seed, Seed + 1000}) {
+      WorkloadInput In = irgen::makeInput(InSeed);
+      diffOneProgram(*B, M, In,
+                     "program " + std::to_string(Seed) + " input " +
+                         std::to_string(InSeed));
+    }
+  }
+}
+
+// Cache counters (the observer with the most derived per-event state) on a
+// standalone PerfModel across all three tiers.
+TEST(BytecodeFuzz, CacheCounterDifferential) {
+  for (uint64_t Seed = 0; Seed < 60; ++Seed) {
+    auto Prog = irgen::generateProgram(Seed);
+    auto B = lower(*Prog, LoweringOptions::O2());
+    BytecodeModule M = compileBytecode(*B);
+    WorkloadInput In = irgen::makeInput(Seed);
+    std::string Ctx = "program " + std::to_string(Seed);
+
+    PerfModel P1, P2, P3;
+    RunResult R1 = Interpreter(*B, In).run(P1, FuzzCap);
+    RunResult R2 = Interpreter(*B, In).runFast(P2, FuzzCap);
+    RunResult R3 = Interpreter(*B, In).runBytecode(M, P3, FuzzCap);
+    expectSameRun(R1, R2, Ctx + " (fast)");
+    expectSameRun(R1, R3, Ctx + " (bytecode)");
+    expectSameCounters(P1.counters(), P2.counters(), Ctx + " (fast)");
+    expectSameCounters(P1.counters(), P3.counters(), Ctx + " (bytecode)");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Derived artifacts: graphs, BBV intervals, marker intervals + firings
+//===----------------------------------------------------------------------===//
+
+// Call-loop graph dumps (hierarchical counts, Welford stats) from the tree
+// tier vs the bytecode tier must print byte-identically.
+TEST(BytecodeFuzz, GraphDumpDifferential) {
+  for (uint64_t Seed = 0; Seed < 40; ++Seed) {
+    auto Prog = irgen::generateProgram(Seed);
+    auto B = lower(*Prog, LoweringOptions::O2());
+    LoopIndex Loops = LoopIndex::build(*B);
+    BytecodeModule M = compileBytecode(*B);
+    WorkloadInput In = irgen::makeInput(Seed);
+
+    auto GTree = buildCallLoopGraph(*B, Loops, In, FuzzCap);
+    auto GBc = buildCallLoopGraph(*B, Loops, In, FuzzCap,
+                                  /*Extra=*/nullptr, &M);
+    EXPECT_EQ(printGraph(*GTree), printGraph(*GBc))
+        << "program " << Seed;
+  }
+}
+
+// Fixed-length intervals with BBVs and perf counters.
+TEST(BytecodeFuzz, FixedIntervalsDifferential) {
+  constexpr uint64_t Len = 10'000;
+  for (uint64_t Seed = 0; Seed < 40; ++Seed) {
+    auto Prog = irgen::generateProgram(Seed);
+    auto B = lower(*Prog, LoweringOptions::O2());
+    BytecodeModule M = compileBytecode(*B);
+    WorkloadInput In = irgen::makeInput(Seed);
+
+    std::vector<IntervalRecord> Tree =
+        runFixedIntervals(*B, In, Len, /*CollectBbv=*/true, FuzzCap);
+    std::vector<IntervalRecord> Bc =
+        runFixedIntervals(*B, In, Len, /*CollectBbv=*/true, FuzzCap,
+                          PerfModelOptions(), &M);
+    expectSameIntervals(Tree, Bc, "program " + std::to_string(Seed));
+  }
+}
+
+// Marker-cut intervals and the firing trace, with markers selected from a
+// bytecode-profiled graph — the full pipeline end to end on one tier vs
+// the other.
+TEST(BytecodeFuzz, MarkerIntervalsDifferential) {
+  size_t Differentiated = 0;
+  for (uint64_t Seed = 0; Seed < 120 && Differentiated < 12; ++Seed) {
+    auto Prog = irgen::generateProgram(Seed);
+    auto B = lower(*Prog, LoweringOptions::O2());
+    LoopIndex Loops = LoopIndex::build(*B);
+    BytecodeModule M = compileBytecode(*B);
+    WorkloadInput In = irgen::makeInput(Seed);
+
+    auto G = buildCallLoopGraph(*B, Loops, In, FuzzCap);
+    SelectorConfig SC;
+    SC.ILower = 100; // Fuzz programs are small; keep candidates alive.
+    SelectionResult Sel = selectMarkers(*G, SC);
+    if (Sel.Markers.empty())
+      continue; // Nothing to differentiate on this input.
+    ++Differentiated;
+
+    std::string Ctx = "program " + std::to_string(Seed);
+    MarkerRun Tree = runMarkerIntervals(*B, Loops, *G, Sel.Markers, In,
+                                        /*CollectBbv=*/true,
+                                        /*RecordFirings=*/true, FuzzCap);
+    MarkerRun Bc = runMarkerIntervals(*B, Loops, *G, Sel.Markers, In,
+                                      /*CollectBbv=*/true,
+                                      /*RecordFirings=*/true, FuzzCap,
+                                      PerfModelOptions(), &M);
+    EXPECT_EQ(Tree.Firings, Bc.Firings) << Ctx;
+    expectSameRun(Tree.Run, Bc.Run, Ctx);
+    expectSameIntervals(Tree.Intervals, Bc.Intervals, Ctx);
+  }
+  // The scan must find enough marker-bearing programs for this
+  // differential to mean something.
+  EXPECT_GE(Differentiated, 12u);
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint interchange between tiers
+//===----------------------------------------------------------------------===//
+
+// Random split points: a run executed as chained segments that alternate
+// tiers (bytecode, tree, bytecode, ...) across checkpoints must concatenate
+// to the exact uninterrupted event stream. This is the "checkpoints are
+// interchangeable between tiers" contract.
+TEST(BytecodeFuzz, CheckpointResumeAcrossTiers) {
+  size_t Suspended = 0;
+  for (uint64_t Round = 0; Round < 40; ++Round) {
+    auto Prog = irgen::generateProgram(Round);
+    auto B = lower(*Prog, LoweringOptions::O2());
+    BytecodeModule M = compileBytecode(*B);
+    WorkloadInput In = irgen::makeInput(Round + 7);
+    std::string Ctx = "round " + std::to_string(Round);
+
+    RecordingObserver Ref;
+    RunResult RRef = Interpreter(*B, In).runBytecode(M, Ref, FuzzCap);
+
+    // 2-4 segments with split points drawn across the observed length
+    // (clamped up so zero-length runs still exercise the boundary paths).
+    Rng R(splitMix64(Round ^ 0xc0ffee));
+    uint64_t Len = RRef.TotalInstrs > 0 ? RRef.TotalInstrs : 1;
+    std::vector<uint64_t> Until;
+    uint64_t NumSegs = 2 + R.nextBelow(3);
+    for (uint64_t S = 0; S + 1 < NumSegs; ++S)
+      Until.push_back(1 + R.nextBelow(Len));
+    std::sort(Until.begin(), Until.end());
+    Until.push_back(FuzzCap);
+
+    RecordingObserver Chained;
+    RunResult RLast;
+    InterpCheckpoint Cks[2];
+    const InterpCheckpoint *From = nullptr;
+    for (size_t S = 0; S < Until.size(); ++S) {
+      InterpCheckpoint *Out = &Cks[S % 2];
+      Interpreter I(*B, In);
+      // Even segments run bytecode, odd segments run the tree walk; every
+      // boundary is a cross-tier handoff.
+      RLast = (S % 2 == 0)
+                  ? I.runBytecodeSegment(M, Chained, From, Until[S], Out)
+                  : I.runFastSegment(Chained, From, Until[S], Out);
+      if (!Out->Finished && !Out->Frames.empty())
+        ++Suspended;
+      From = Out;
+    }
+
+    expectSameRun(RRef, RLast, Ctx);
+    ASSERT_EQ(Ref.Events.size(), Chained.Events.size()) << Ctx;
+    EXPECT_TRUE(Ref.Events == Chained.Events) << Ctx;
+  }
+  // Most rounds must actually suspend mid-run somewhere, or the loop never
+  // tested a real cross-tier resume.
+  EXPECT_GE(Suspended, 20u);
+}
+
+// The checkpoint itself — the ResumeFrame stack and every cursor-bearing
+// total — must be identical whichever tier captured it at the same
+// boundary.
+TEST(BytecodeFuzz, CheckpointFramesIdenticalAcrossTiers) {
+  for (uint64_t Round = 0; Round < 40; ++Round) {
+    auto Prog = irgen::generateProgram(Round + 100);
+    auto B = lower(*Prog, LoweringOptions::O2());
+    BytecodeModule M = compileBytecode(*B);
+    WorkloadInput In = irgen::makeInput(Round);
+    std::string Ctx = "round " + std::to_string(Round);
+
+    Rng R(splitMix64(Round * 977 + 5));
+    uint64_t Until = 1 + R.nextBelow(FuzzCap / 4);
+
+    NullObs OA, OB;
+    InterpCheckpoint CTree, CBc;
+    Interpreter(*B, In).runFastSegment(OA, nullptr, Until, &CTree);
+    Interpreter(*B, In).runBytecodeSegment(M, OB, nullptr, Until, &CBc);
+
+    EXPECT_EQ(CTree.Finished, CBc.Finished) << Ctx;
+    EXPECT_EQ(CTree.TotalInstrs, CBc.TotalInstrs) << Ctx;
+    EXPECT_EQ(CTree.TotalBlocks, CBc.TotalBlocks) << Ctx;
+    EXPECT_EQ(CTree.TotalMemAccesses, CBc.TotalMemAccesses) << Ctx;
+    ASSERT_EQ(CTree.Frames.size(), CBc.Frames.size()) << Ctx;
+    for (size_t F = 0; F < CTree.Frames.size(); ++F)
+      EXPECT_TRUE(CTree.Frames[F] == CBc.Frames[F])
+          << Ctx << " frame " << F;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded drivers over the bytecode tier
+//===----------------------------------------------------------------------===//
+
+// All three sharded drivers with the bytecode path, shards in {1, 3},
+// compared against the unsharded tree-tier reference: graphs, marker
+// intervals + firings, and fixed intervals must match exactly.
+TEST(BytecodeFuzz, ShardedBytecodeDifferential) {
+  for (uint64_t Seed = 0; Seed < 8; ++Seed) {
+    auto Prog = irgen::generateProgram(Seed * 13 + 3);
+    auto B = lower(*Prog, LoweringOptions::O2());
+    LoopIndex Loops = LoopIndex::build(*B);
+    BytecodeModule M = compileBytecode(*B);
+    WorkloadInput In = irgen::makeInput(Seed);
+    std::string Ctx = "program " + std::to_string(Seed);
+
+    auto GRef = buildCallLoopGraph(*B, Loops, In, FuzzCap);
+    std::string DumpRef = printGraph(*GRef);
+    SelectorConfig SC;
+    SC.ILower = 100;
+    SelectionResult Sel = selectMarkers(*GRef, SC);
+    MarkerRun MRef = runMarkerIntervals(*B, Loops, *GRef, Sel.Markers, In,
+                                        /*CollectBbv=*/true,
+                                        /*RecordFirings=*/true, FuzzCap);
+    std::vector<IntervalRecord> FRef =
+        runFixedIntervals(*B, In, 10'000, /*CollectBbv=*/true, FuzzCap);
+
+    for (unsigned NShards : {1u, 3u}) {
+      std::string SCtx = Ctx + " shards " + std::to_string(NShards);
+      auto G = buildCallLoopGraphSharded(*B, Loops, In, NShards, FuzzCap,
+                                         /*ShardSeconds=*/nullptr, &M);
+      EXPECT_EQ(DumpRef, printGraph(*G)) << SCtx;
+
+      MarkerRun MR = runMarkerIntervalsSharded(
+          *B, Loops, *GRef, Sel.Markers, In, /*CollectBbv=*/true,
+          /*RecordFirings=*/true, NShards, FuzzCap, PerfModelOptions(),
+          /*ShardSeconds=*/nullptr, &M);
+      EXPECT_EQ(MRef.Firings, MR.Firings) << SCtx;
+      expectSameRun(MRef.Run, MR.Run, SCtx);
+      expectSameIntervals(MRef.Intervals, MR.Intervals, SCtx);
+
+      std::vector<IntervalRecord> FI = runFixedIntervalsSharded(
+          *B, In, 10'000, /*CollectBbv=*/true, NShards, FuzzCap,
+          PerfModelOptions(), /*ShardSeconds=*/nullptr, &M);
+      expectSameIntervals(FRef, FI, SCtx);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier negatives: malformed modules are rejected, never executed
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Small handcrafted program containing one of everything the verifier
+/// cross-checks: a loop, a branch, and a call — so its module has Block,
+/// LoopBegin/LoopBack, IfBegin, Jump, Call, and Ret ops plus Loop, If, and
+/// Call payloads to corrupt.
+std::unique_ptr<SourceProgram> handProgram() {
+  ProgramBuilder PB("hand");
+  PB.region(MemRegionSpec::fixed("r", 4096));
+  PB.declare("main");
+  PB.declare("leaf");
+  PB.define(0, [](FunctionBuilder &FB) {
+    FB.loop(TripCountSpec::constant(3), [&] {
+      FB.code(4);
+      FB.branch(CondSpec::periodic(2, 1), [&] { FB.code(2); },
+                [&] { FB.code(3); });
+      FB.call(1);
+    });
+  });
+  PB.define(1, [](FunctionBuilder &FB) { FB.code(5); });
+  return PB.take();
+}
+
+/// Finds the index of the first op with opcode \p Op; asserts one exists.
+uint32_t findOp(const BytecodeModule &M, BcOpcode Op) {
+  for (uint32_t I = 0; I < M.Ops.size(); ++I)
+    if (M.Ops[I].Op == Op)
+      return I;
+  ADD_FAILURE() << "opcode not found in handcrafted module";
+  return 0;
+}
+
+} // namespace
+
+// Every mutation must fail verify() with a diagnostic, and runBytecode must
+// throw without delivering a single event to the observer.
+TEST(BytecodeVerifier, RejectsMalformedModules) {
+  auto Prog = handProgram();
+  auto B = lower(*Prog, LoweringOptions::O2());
+  WorkloadInput In("hand", 42);
+  BytecodeModule Good = compileBytecode(*B);
+  std::string Err;
+  ASSERT_TRUE(Good.verify(*B, &Err)) << Err;
+
+  auto expectRejected = [&](BytecodeModule M, const char *What) {
+    std::string E;
+    EXPECT_FALSE(M.verify(*B, &E)) << What;
+    EXPECT_FALSE(E.empty()) << What;
+    RecordingObserver O;
+    Interpreter I(*B, In);
+    EXPECT_THROW(I.runBytecode(M, O), std::invalid_argument) << What;
+    EXPECT_TRUE(O.Events.empty())
+        << What << ": rejected module delivered events";
+  };
+
+  {
+    BytecodeModule M = Good;
+    M.Ops.pop_back(); // Truncated: the last region loses its Ret.
+    expectRejected(std::move(M), "truncated module");
+  }
+  {
+    BytecodeModule M = Good;
+    M.Ops.push_back(BcOp{}); // Ops past the last function region.
+    expectRejected(std::move(M), "trailing garbage");
+  }
+  {
+    BytecodeModule M = Good;
+    M.Ops[findOp(M, BcOpcode::Block)].A = M.NumBlocks + 7;
+    expectRejected(std::move(M), "out-of-range block id");
+  }
+  {
+    BytecodeModule M = Good;
+    M.Ops[findOp(M, BcOpcode::LoopBegin)].B =
+        static_cast<uint32_t>(M.Ops.size()) + 9;
+    expectRejected(std::move(M), "loop exit escapes function region");
+  }
+  {
+    BytecodeModule M = Good;
+    // Retarget the back edge into the next function's region: no longer a
+    // preceding Block of the same function.
+    M.Ops[findOp(M, BcOpcode::LoopBack)].B = M.Funcs[1].EntryPc;
+    expectRejected(std::move(M), "cross-function back edge");
+  }
+  {
+    BytecodeModule M = Good;
+    M.Ops[findOp(M, BcOpcode::IfBegin)].B =
+        static_cast<uint32_t>(M.Ops.size()) + 3;
+    expectRejected(std::move(M), "out-of-range branch target");
+  }
+  {
+    BytecodeModule M = Good;
+    // Point the LoopBegin at the If payload: right range, wrong kind.
+    uint32_t IfPayload = M.Ops[findOp(M, BcOpcode::IfBegin)].A;
+    M.Ops[findOp(M, BcOpcode::LoopBegin)].A = IfPayload;
+    expectRejected(std::move(M), "payload kind mismatch");
+  }
+  {
+    BytecodeModule M = Good;
+    M.Ops[findOp(M, BcOpcode::Block)].B =
+        static_cast<uint32_t>(M.Captures.size());
+    expectRejected(std::move(M), "capture index out of range");
+  }
+  {
+    BytecodeModule M = Good;
+    M.NumBlocks += 1; // Module claims a different source binary.
+    expectRejected(std::move(M), "structural count mismatch");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Targeted degenerate shapes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void diffHandBuilt(std::unique_ptr<SourceProgram> Prog, uint64_t Seed,
+                   const std::string &Ctx) {
+  auto B = lower(*Prog, LoweringOptions::O2());
+  BytecodeModule M = compileBytecode(*B);
+  std::string Err;
+  ASSERT_TRUE(M.verify(*B, &Err)) << Ctx << ": " << Err;
+  WorkloadInput In(Ctx, Seed);
+  diffOneProgram(*B, M, In, Ctx);
+}
+
+} // namespace
+
+// Edge shapes the generator only hits probabilistically, pinned down:
+// an empty program, a zero-trip-only body, a deep nesting chain, and
+// depth-cap-saturating unconditional self-recursion.
+TEST(BytecodeFuzz, DegenerateShapes) {
+  {
+    ProgramBuilder PB("empty");
+    PB.region(MemRegionSpec::fixed("r", 1024));
+    PB.declare("main");
+    PB.define(0, [](FunctionBuilder &) {});
+    diffHandBuilt(PB.take(), 1, "empty main");
+  }
+  {
+    ProgramBuilder PB("zerotrip");
+    PB.region(MemRegionSpec::fixed("r", 1024));
+    PB.declare("main");
+    PB.define(0, [](FunctionBuilder &FB) {
+      FB.loop(TripCountSpec::constant(0), [&] { FB.code(7); });
+    });
+    diffHandBuilt(PB.take(), 2, "zero-trip loop");
+  }
+  {
+    ProgramBuilder PB("deep");
+    PB.region(MemRegionSpec::fixed("r", 1024));
+    PB.declare("main");
+    PB.define(0, [](FunctionBuilder &FB) {
+      std::function<void(int)> Nest = [&](int D) {
+        if (D == 0) {
+          FB.code(1);
+          return;
+        }
+        FB.loop(TripCountSpec::constant(2), [&] { Nest(D - 1); });
+      };
+      Nest(12);
+    });
+    diffHandBuilt(PB.take(), 3, "deep nesting");
+  }
+  {
+    ProgramBuilder PB("satdepth");
+    PB.region(MemRegionSpec::fixed("r", 1024));
+    PB.declare("main");
+    PB.define(0, [](FunctionBuilder &FB) {
+      FB.code(2);
+      FB.callIf(0, 1.0); // Terminates only via the MaxCallDepth cap.
+      FB.code(1);
+    });
+    diffHandBuilt(PB.take(), 4, "depth-cap saturation");
+  }
+}

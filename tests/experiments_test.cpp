@@ -128,6 +128,13 @@ TEST(Shapes, Sec61_ReuseStrugglesOnIrregularSpmDoesNot) {
   // still partitions both. Our baseline is fully defeated by vortex and
   // at best finds a token few markers on gcc; SPM finds a healthy
   // marker set on both.
+  // "A token few" across gcc + vortex combined. The bound is 3 rather
+  // than 2 because the counter-based Random mem-stream rework (which made
+  // random accesses checkpointable) legitimately shifted reuse-distance
+  // samples enough for gcc to clear one extra marker; the claim under
+  // test — reuse finds almost nothing where SPM finds a healthy set —
+  // does not hinge on the exact count.
+  constexpr size_t MaxReuseMarkersOnIrregular = 3;
   size_t ReuseTotal = 0;
   for (const std::string &Name : {std::string("gcc"), std::string("vortex")}) {
     Prepared P = prepare(Name);
@@ -135,7 +142,7 @@ TEST(Shapes, Sec61_ReuseStrugglesOnIrregularSpmDoesNot) {
     EXPECT_GE(selectMarkers(*P.GTrain, noLimitConfig()).Markers.size(), 3u)
         << Name;
   }
-  EXPECT_LE(ReuseTotal, 3u);
+  EXPECT_LE(ReuseTotal, MaxReuseMarkersOnIrregular);
   Prepared Vortex = prepare("vortex");
   EXPECT_TRUE(profileReuseMarkers(*Vortex.Bin, Vortex.W.Train).empty());
 }

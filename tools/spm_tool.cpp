@@ -33,7 +33,10 @@
 #include "support/Parallel.h"
 #include "support/Table.h"
 #include "support/Trace.h"
+#include "vm/Bytecode.h"
 #include "workloads/Workloads.h"
+
+#include <memory>
 
 #include <algorithm>
 #include <chrono>
@@ -69,6 +72,8 @@ int usage() {
       "  spm_tool dot <workload> [--input train|ref]\n"
       "common: --jobs N parallelizes independent runs (0 = all cores;\n"
       "        SPM_JOBS is the environment fallback)\n"
+      "        --engine tree|bytecode picks the execution tier (default\n"
+      "        tree); outputs are byte-identical across tiers\n"
       "        --trace-out FILE enables spmtrace and writes a Chrome\n"
       "        trace_event JSON timeline (chrome://tracing / Perfetto)\n"
       "        --metrics-out FILE enables spmtrace and writes the metrics\n"
@@ -159,6 +164,7 @@ struct CommonArgs {
   std::string IntervalsPath;
   std::string TraceOut;
   std::string MetricsOut;
+  std::string Engine = "tree";
   bool Bad = false;
 };
 
@@ -208,6 +214,13 @@ CommonArgs parseArgs(int Argc, char **Argv, int Start) {
       A.TraceOut = V;
     } else if (valueOpt(Arg, "--metrics-out", I, Argc, Argv, V)) {
       A.MetricsOut = V;
+    } else if (valueOpt(Arg, "--engine", I, Argc, Argv, V)) {
+      if (V != "tree" && V != "bytecode") {
+        std::fprintf(stderr, "unknown engine %s (tree|bytecode)\n",
+                     V.c_str());
+        A.Bad = true;
+      }
+      A.Engine = V;
     } else if (Arg == "--jobs" && I + 1 < Argc) {
       setParallelJobs(std::atoi(Argv[++I]));
     } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
@@ -218,6 +231,16 @@ CommonArgs parseArgs(int Argc, char **Argv, int Start) {
     }
   }
   return A;
+}
+
+/// Compiles \p Bin to bytecode when --engine=bytecode was given; returns
+/// null for the tree tier. Every driver takes the module as an optional
+/// pointer, so a null return selects the default path untouched.
+std::unique_ptr<BytecodeModule> makeEngine(const CommonArgs &A,
+                                           const Binary &Bin) {
+  if (A.Engine != "bytecode")
+    return nullptr;
+  return std::make_unique<BytecodeModule>(compileBytecode(Bin));
 }
 
 int cmdList() {
@@ -236,7 +259,10 @@ int cmdProfile(const CommonArgs &A) {
   Workload W = WorkloadRegistry::create(A.Positional[0]);
   auto Bin = lower(*W.Program, LoweringOptions::O2());
   LoopIndex Loops = LoopIndex::build(*Bin);
-  auto G = buildCallLoopGraph(*Bin, Loops, A.UseRef ? W.Ref : W.Train);
+  auto Bc = makeEngine(A, *Bin);
+  auto G = buildCallLoopGraph(*Bin, Loops, A.UseRef ? W.Ref : W.Train,
+                              std::numeric_limits<uint64_t>::max(),
+                              /*Extra=*/nullptr, Bc.get());
   if (!writeOutput(A.OutPath, serializeProfile(*G, *Bin, Loops))) {
     std::fprintf(stderr, "profile: cannot write %s\n", A.OutPath.c_str());
     return 1;
@@ -305,9 +331,11 @@ int cmdReport(const CommonArgs &A) {
                  "binary\n",
                  Portable->size() - M.size(), Portable->size());
 
-  MarkerRun Run = runMarkerIntervals(*Bin, Loops, *G, M,
-                                     A.UseRef ? W.Ref : W.Train,
-                                     /*CollectBbv=*/false);
+  auto Bc = makeEngine(A, *Bin);
+  MarkerRun Run = runMarkerIntervals(
+      *Bin, Loops, *G, M, A.UseRef ? W.Ref : W.Train,
+      /*CollectBbv=*/false, /*RecordFirings=*/false,
+      std::numeric_limits<uint64_t>::max(), PerfModelOptions(), Bc.get());
   ClassificationSummary S = summarizeClassification(
       Run.Intervals, phasesFromRecords(Run.Intervals), cpiMetric);
   double Whole = wholeProgramCov(Run.Intervals, cpiMetric);
@@ -353,11 +381,14 @@ int cmdBench(const CommonArgs &A) {
     Workload W = WorkloadRegistry::create(Names[I]);
     auto Bin = lower(*W.Program, LoweringOptions::O2());
     LoopIndex Loops = LoopIndex::build(*Bin);
-    auto Graphs = buildCallLoopGraphs(*Bin, Loops, {&W.Train, &W.Ref});
+    auto Bc = makeEngine(A, *Bin);
+    auto Graphs =
+        buildCallLoopGraphs(*Bin, Loops, {&W.Train, &W.Ref}, Bc.get());
     SelectionResult Sel = selectMarkers(*Graphs[0], A.Config);
-    MarkerRun Run =
-        runMarkerIntervals(*Bin, Loops, *Graphs[0], Sel.Markers, W.Ref,
-                           /*CollectBbv=*/false);
+    MarkerRun Run = runMarkerIntervals(
+        *Bin, Loops, *Graphs[0], Sel.Markers, W.Ref,
+        /*CollectBbv=*/false, /*RecordFirings=*/false,
+        std::numeric_limits<uint64_t>::max(), PerfModelOptions(), Bc.get());
     ClassificationSummary S = summarizeClassification(
         Run.Intervals, phasesFromRecords(Run.Intervals), cpiMetric);
     Row.Name = W.displayName();
@@ -494,6 +525,12 @@ int cmdBenchProfile(const CommonArgs &A) {
       auto G = buildCallLoopGraph(*Bin, Loops, In, Cap);
       SelectionResult Sel = selectMarkers(*G, A.Config);
 
+      // Bytecode tier: compiled once per workload. Compile cost gets its
+      // own registry cell so the JSON reports it next to dispatch wins.
+      BytecodeModule Bc;
+      timeReps(stageHist(Name, "bc_compile", "bytecode"),
+               [&] { Bc = compileBytecode(*Bin); });
+
       timeReps(stageHist(Name, "interp", "legacy"), [&] {
         ExecutionObserver Nop;
         Interpreter I(*Bin, In);
@@ -503,6 +540,11 @@ int cmdBenchProfile(const CommonArgs &A) {
         NullSink S;
         Interpreter I(*Bin, In);
         I.runFast(S, Cap);
+      });
+      timeReps(stageHist(Name, "interp", "bytecode"), [&] {
+        NullSink S;
+        Interpreter I(*Bin, In);
+        I.runBytecode(Bc, S, Cap);
       });
 
       timeReps(stageHist(Name, "interp+tracker", "legacy"), [&] {
@@ -521,6 +563,13 @@ int cmdBenchProfile(const CommonArgs &A) {
         T.setProfileTarget(&PG);
         Interpreter I(*Bin, In);
         I.runFast(T, Cap);
+      });
+      timeReps(stageHist(Name, "interp+tracker", "bytecode"), [&] {
+        CallLoopGraph PG(*Bin, Loops);
+        CallLoopTracker T(*Bin, Loops, PG);
+        T.setProfileTarget(&PG);
+        Interpreter I(*Bin, In);
+        I.runBytecode(Bc, T, Cap);
       });
 
       timeReps(stageHist(Name, "tracker+markers+intervals", "legacy"), [&] {
@@ -551,6 +600,20 @@ int cmdBenchProfile(const CommonArgs &A) {
         Interpreter I(*Bin, In);
         I.runFast(Mux, Cap);
       });
+      timeReps(stageHist(Name, "tracker+markers+intervals", "bytecode"),
+               [&] {
+        PerfModel Perf;
+        IntervalBuilder Ivb =
+            IntervalBuilder::markerDriven(&Perf, /*CollectBbv=*/false);
+        CallLoopTracker T(*Bin, Loops, *G);
+        MarkerRuntime RT(Sel.Markers, *G);
+        T.addListener(&RT);
+        RT.setCallback([&](int32_t Idx) { Ivb.requestCut(Idx); });
+        StaticMux<CallLoopTracker, IntervalBuilder, PerfModel> Mux(T, Ivb,
+                                                                   Perf);
+        Interpreter I(*Bin, In);
+        I.runBytecode(Bc, Mux, Cap);
+      });
 
       timeReps(stageHist(Name, "bbv", "legacy"), [&] {
         PerfModel Perf;
@@ -570,6 +633,14 @@ int cmdBenchProfile(const CommonArgs &A) {
         Interpreter I(*Bin, In);
         I.runFast(Mux, Cap);
       });
+      timeReps(stageHist(Name, "bbv", "bytecode"), [&] {
+        PerfModel Perf;
+        IntervalBuilder Ivb =
+            IntervalBuilder::fixedLength(100000, &Perf, /*CollectBbv=*/true);
+        StaticMux<IntervalBuilder, PerfModel> Mux(Ivb, Perf);
+        Interpreter I(*Bin, In);
+        I.runBytecode(Bc, Mux, Cap);
+      });
 
       timeReps(stageHist(Name, "cache", "legacy"), [&] {
         PerfModel Perf;
@@ -580,6 +651,11 @@ int cmdBenchProfile(const CommonArgs &A) {
         PerfModel Perf;
         Interpreter I(*Bin, In);
         I.runFast(Perf, Cap);
+      });
+      timeReps(stageHist(Name, "cache", "bytecode"), [&] {
+        PerfModel Perf;
+        Interpreter I(*Bin, In);
+        I.runBytecode(Bc, Perf, Cap);
       });
 
       timeReps(stageHist(Name, "shard", "base"), [&] {
@@ -632,8 +708,10 @@ int cmdBenchProfile(const CommonArgs &A) {
       .cell("stage")
       .cell("legacy Mev/s")
       .cell("engine Mev/s")
-      .cell("speedup");
-  char Buf[256];
+      .cell("bytecode Mev/s")
+      .cell("eng/leg")
+      .cell("bc/eng");
+  char Buf[384];
   std::string Json = "{\n  \"bench\": \"engine-profile\",\n";
   std::snprintf(Buf, sizeof(Buf),
                 "  \"cap_instrs\": %llu,\n  \"reps\": %d,\n"
@@ -642,6 +720,12 @@ int cmdBenchProfile(const CommonArgs &A) {
                 traceCompiledIn() ? "true" : "false",
                 spmTraceEnabled() ? "true" : "false");
   Json += Buf;
+  double BcCompileSec = stageSeconds("bc_compile", "bytecode");
+  if (BcCompileSec > 0.0) {
+    std::snprintf(Buf, sizeof(Buf), "  \"bc_compile_s\": %.6f,\n",
+                  BcCompileSec);
+    Json += Buf;
+  }
   if (!StageError.empty())
     Json += "  \"aborted_at\": \"" + jsonEscape(StageError) + "\",\n";
   Json += "  \"workloads\": [";
@@ -654,6 +738,7 @@ int cmdBenchProfile(const CommonArgs &A) {
   for (int S = 0; S < NumStages; ++S) {
     double LegacySec = stageSeconds(StageNames[S], "legacy");
     double EngineSec = stageSeconds(StageNames[S], "engine");
+    double BcSec = stageSeconds(StageNames[S], "bytecode");
     // A stage the run never reached (exception upstream) has no registry
     // samples — leave it out rather than emit NaNs.
     if (!(LegacySec > 0.0) || !(EngineSec > 0.0))
@@ -661,19 +746,36 @@ int cmdBenchProfile(const CommonArgs &A) {
     double LegacyEps = TotalEvents / LegacySec;
     double EngineEps = TotalEvents / EngineSec;
     double Speedup = LegacySec / EngineSec;
+    bool HasBc = BcSec > 0.0;
+    auto &Row = T.row().cell(StageNames[S]).cell(LegacyEps / 1e6, 1).cell(
+        EngineEps / 1e6, 1);
+    if (HasBc)
+      Row.cell(TotalEvents / BcSec / 1e6, 1);
+    else
+      Row.cell("-");
     std::snprintf(Buf, sizeof(Buf), "%.2fx", Speedup);
-    T.row()
-        .cell(StageNames[S])
-        .cell(LegacyEps / 1e6, 1)
-        .cell(EngineEps / 1e6, 1)
-        .cell(std::string(Buf));
+    Row.cell(std::string(Buf));
+    if (HasBc) {
+      std::snprintf(Buf, sizeof(Buf), "%.2fx", EngineSec / BcSec);
+      Row.cell(std::string(Buf));
+    } else {
+      Row.cell("-");
+    }
     std::snprintf(Buf, sizeof(Buf),
                   "%s    {\"stage\": \"%s\", \"legacy_s\": %.6f, "
                   "\"engine_s\": %.6f, \"legacy_eps\": %.0f, "
-                  "\"engine_eps\": %.0f, \"speedup\": %.3f}",
+                  "\"engine_eps\": %.0f, \"speedup\": %.3f",
                   FirstStage ? "" : ",\n", StageNames[S], LegacySec,
                   EngineSec, LegacyEps, EngineEps, Speedup);
     Json += Buf;
+    if (HasBc) {
+      std::snprintf(Buf, sizeof(Buf),
+                    ", \"bytecode_s\": %.6f, \"bytecode_eps\": %.0f, "
+                    "\"bytecode_speedup\": %.3f",
+                    BcSec, TotalEvents / BcSec, EngineSec / BcSec);
+      Json += Buf;
+    }
+    Json += "}";
     FirstStage = false;
   }
   Json += "\n  ]\n}\n";
@@ -816,7 +918,9 @@ int cmdCheckpointSave(const CommonArgs &A) {
   Interpreter Interp(*P.Bin, P.In);
   Mux.onRunStart(*P.Bin, P.In);
   PipelineCheckpoint C;
-  RunResult R = Interp.runFastSegment(Mux, nullptr, At, &C.Interp);
+  auto Bc = makeEngine(A, *P.Bin);
+  RunResult R =
+      detail::segmentWithEngine(Interp, Bc.get(), Mux, nullptr, At, &C.Interp);
   // Run framing: a run that completed before the boundary gets its normal
   // end (pop-all + final cut) before states are captured, so resuming the
   // checkpoint is a no-op rather than a duplicate final interval.
@@ -902,8 +1006,11 @@ int cmdCheckpointResume(const CommonArgs &A) {
   RunResult R;
   R.TotalInstrs = Resumed;
   if (!C->Interp.Finished) {
-    R = Interp.runFastSegment(Mux, &C->Interp,
-                              std::numeric_limits<uint64_t>::max());
+    // Checkpoints address source structure, not engine state, so the
+    // resuming tier is free to differ from the saving tier.
+    auto Bc = makeEngine(A, *P.Bin);
+    R = detail::segmentWithEngine(Interp, Bc.get(), Mux, &C->Interp,
+                                  std::numeric_limits<uint64_t>::max());
     Mux.onRunEnd(R.TotalInstrs);
   }
   std::vector<IntervalRecord> Iv = P.Ivb.takeIntervals();
@@ -945,7 +1052,10 @@ int cmdDot(const CommonArgs &A) {
   Workload W = WorkloadRegistry::create(A.Positional[0]);
   auto Bin = lower(*W.Program, LoweringOptions::O2());
   LoopIndex Loops = LoopIndex::build(*Bin);
-  auto G = buildCallLoopGraph(*Bin, Loops, A.UseRef ? W.Ref : W.Train);
+  auto Bc = makeEngine(A, *Bin);
+  auto G = buildCallLoopGraph(*Bin, Loops, A.UseRef ? W.Ref : W.Train,
+                              std::numeric_limits<uint64_t>::max(),
+                              /*Extra=*/nullptr, Bc.get());
   return writeOutput(A.OutPath, printGraphDot(*G)) ? 0 : 1;
 }
 
