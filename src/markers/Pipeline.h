@@ -39,8 +39,9 @@ struct MarkerRun {
 };
 
 /// Runs \p B on \p In with fixed-length intervals of \p Len instructions.
-/// \p Bc, when non-null, selects the bytecode execution tier (byte-identical
-/// output; see vm/Bytecode.h).
+/// \p Bc, when non-null, selects the bytecode execution tier — plain or
+/// fused (vm/Fusion.h); both produce byte-identical output, so callers
+/// pick the module, not the semantics (see vm/Bytecode.h).
 inline std::vector<IntervalRecord>
 runFixedIntervals(const Binary &B, const WorkloadInput &In, uint64_t Len,
                   bool CollectBbv,
@@ -61,7 +62,8 @@ runFixedIntervals(const Binary &B, const WorkloadInput &In, uint64_t Len,
 
 /// Runs \p B on \p In with the markers of \p M cutting variable-length
 /// intervals. \p G and \p Loops must belong to \p B. \p Bc, when non-null,
-/// selects the bytecode execution tier (byte-identical output).
+/// selects the bytecode execution tier, plain or fused (byte-identical
+/// output either way).
 inline MarkerRun
 runMarkerIntervals(const Binary &B, const LoopIndex &Loops,
                    const CallLoopGraph &G, const MarkerSet &M,
@@ -105,8 +107,9 @@ buildCallLoopGraphs(const Binary &B, const LoopIndex &Loops,
                     const std::vector<const WorkloadInput *> &Inputs,
                     const BytecodeModule *Bc = nullptr) {
   return parallelMap(Inputs.size(), [&](size_t I) {
-    // A BytecodeModule is immutable after compilation, so one module may
-    // back all concurrent runs.
+    // A BytecodeModule is immutable after compilation (and fusion), so one
+    // module may back all concurrent runs; its verification memo makes the
+    // per-run verify a single atomic load after the first.
     return buildCallLoopGraph(B, Loops, *Inputs[I],
                               std::numeric_limits<uint64_t>::max(),
                               /*Extra=*/nullptr, Bc);

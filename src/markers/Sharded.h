@@ -116,7 +116,12 @@ inline double secondsSince(std::chrono::steady_clock::time_point T0) {
 
 /// Runs one segment on whichever execution tier \p Bc selects. Checkpoints
 /// are tier-independent (ResumeFrame stacks address source structure, not
-/// engine state), so a single warm/shard chain can mix tiers freely.
+/// engine state), so a single warm/shard chain can mix tiers freely. A
+/// fused module works here unchanged: shard boundaries are arbitrary
+/// instruction counts, and a resume pc that lands inside a fused tape's
+/// op span executes the original ops until the next tape start, while the
+/// tape budget guard keeps suspensions at the same block boundaries every
+/// tier uses (vm/Fusion.h).
 template <class ObsT>
 RunResult segmentWithEngine(Interpreter &I, const BytecodeModule *Bc,
                             ObsT &Obs, const InterpCheckpoint *From,

@@ -9,6 +9,7 @@
 
 #include "support/Metrics.h"
 #include "support/Trace.h"
+#include "vm/Fusion.h"
 #include "vm/Interpreter.h"
 
 #include <cassert>
@@ -116,6 +117,8 @@ private:
       P.TripSite = N.TripSite;
       P.HeaderBlock = N.Block;
       P.LatchBlock = N.LatchBlock;
+      P.LatchTermAddr = Bin.block(N.LatchBlock).termAddr();
+      P.HeaderAddr = Bin.block(N.Block).Addr;
       M.Payloads.push_back(std::move(P));
       uint32_t Pay = static_cast<uint32_t>(M.Payloads.size() - 1);
 
@@ -142,6 +145,8 @@ private:
       P.Cond = N.Cond;
       P.CondSite = N.CondSite;
       P.CondBlock = N.Block;
+      P.CondTermAddr = Bin.block(N.Block).termAddr();
+      P.CondTargetAddr = Bin.block(N.Block).Term.TargetAddr;
       M.Payloads.push_back(std::move(P));
       uint32_t Pay = static_cast<uint32_t>(M.Payloads.size() - 1);
 
@@ -176,6 +181,7 @@ private:
       P.RoundRobin = N.RoundRobin;
       P.RRSite = N.RRSite;
       P.SiteBlock = N.Block;
+      P.SiteTermAddr = Bin.block(N.Block).termAddr();
       M.Payloads.push_back(std::move(P));
       uint32_t Pay = static_cast<uint32_t>(M.Payloads.size() - 1);
 
@@ -345,6 +351,12 @@ bool BytecodeModule::verify(const Binary &B, std::string *Error) const {
         Fail(atOp(Pc) + "loop payload trip site out of range");
         return nullptr;
       }
+      if (P.LatchTermAddr != B.Blocks[P.LatchBlock].termAddr() ||
+          P.HeaderAddr != B.Blocks[P.HeaderBlock].Addr) {
+        Fail(atOp(Pc) + "loop payload cached branch addresses diverge "
+                        "from the binary");
+        return nullptr;
+      }
       break;
     case ExecNode::Kind::If:
       if (P.CondBlock >= B.Blocks.size()) {
@@ -354,6 +366,12 @@ bool BytecodeModule::verify(const Binary &B, std::string *Error) const {
       if (P.Cond.K == CondSpec::Kind::Periodic &&
           P.CondSite >= B.NumCondSites) {
         Fail(atOp(Pc) + "if payload cond site out of range");
+        return nullptr;
+      }
+      if (P.CondTermAddr != B.Blocks[P.CondBlock].termAddr() ||
+          P.CondTargetAddr != B.Blocks[P.CondBlock].Term.TargetAddr) {
+        Fail(atOp(Pc) + "if payload cached branch addresses diverge "
+                        "from the binary");
         return nullptr;
       }
       break;
@@ -374,6 +392,11 @@ bool BytecodeModule::verify(const Binary &B, std::string *Error) const {
         }
       if (P.RoundRobin && P.RRSite >= B.NumRRSites) {
         Fail(atOp(Pc) + "call payload round-robin site out of range");
+        return nullptr;
+      }
+      if (P.SiteTermAddr != B.Blocks[P.SiteBlock].termAddr()) {
+        Fail(atOp(Pc) + "call payload cached site address diverges from "
+                        "the binary");
         return nullptr;
       }
       break;
@@ -462,6 +485,10 @@ bool BytecodeModule::verify(const Binary &B, std::string *Error) const {
         break;
       case BcOpcode::Ret:
         return Fail(atOp(Pc) + "stray Ret inside a function region");
+      case BcOpcode::Tape:
+        // Unreachable: the opcode range check above already rejected
+        // anything past Ret — Tape ops live only in the FusedOps overlay.
+        return Fail(atOp(Pc) + "Tape op in the base program");
       }
     }
   }
@@ -501,6 +528,142 @@ bool BytecodeModule::verify(const Binary &B, std::string *Error) const {
       if (O >= Nodes.size())
         return Fail("function " + std::to_string(F) +
                     ": body node ordinal out of range");
+
+  // Fusion overlay (optional). Structural invariants with specific
+  // diagnostics first; then the complete consistency proof: recompute the
+  // canonical fusion of the (now verified) base program and require the
+  // overlay to match it exactly. A hand-mutated tape — wrong length, wrong
+  // entry kind, a block the program never reaches — fails one of these and
+  // is rejected before the dispatch loop ever replays it.
+  if (!fused()) {
+    if (!Tapes.empty() || !TapeKinds.empty() || !TapeA.empty() ||
+        !TapeB.empty() || !TapeBranches.empty() || !TapeSkips.empty())
+      return Fail("tape tables present without a fused op array");
+    return true;
+  }
+  if (FusedOps.size() != Ops.size())
+    return Fail("fused op array length mismatch: " +
+                std::to_string(FusedOps.size()) + " fused ops, " +
+                std::to_string(Ops.size()) + " base ops");
+  if (TapeA.size() != TapeKinds.size() || TapeB.size() != TapeKinds.size())
+    return Fail("tape entry arrays have mismatched lengths");
+
+  for (size_t Pc = 0; Pc < FusedOps.size(); ++Pc) {
+    const BcOp &FOp = FusedOps[Pc];
+    if (FOp.Op == BcOpcode::Tape) {
+      if (FOp.A >= Tapes.size())
+        return Fail(atOp(Pc) + "tape index " + std::to_string(FOp.A) +
+                    " out of range (" + std::to_string(Tapes.size()) +
+                    " tapes)");
+      if (Tapes[FOp.A].StartPc != Pc)
+        return Fail(atOp(Pc) + "tape " + std::to_string(FOp.A) +
+                    " does not start at this op");
+      if (FOp.B != Tapes[FOp.A].EndPc)
+        return Fail(atOp(Pc) + "tape end target " + std::to_string(FOp.B) +
+                    " does not match its tape's span");
+      continue;
+    }
+    if (static_cast<uint8_t>(FOp.Op) > static_cast<uint8_t>(BcOpcode::Ret))
+      return Fail(atOp(Pc) + "invalid fused opcode");
+    if (!(FOp == Ops[Pc]))
+      return Fail(atOp(Pc) +
+                  "fused op diverges from the base program outside a "
+                  "tape start");
+  }
+
+  for (size_t TI = 0; TI < Tapes.size(); ++TI) {
+    const BcTape &T = Tapes[TI];
+    std::string Where = "tape " + std::to_string(TI) + ": ";
+    if (T.StartPc >= T.EndPc || T.EndPc > Ops.size())
+      return Fail(Where + "op span out of range");
+    if (FusedOps[T.StartPc].Op != BcOpcode::Tape ||
+        FusedOps[T.StartPc].A != TI)
+      return Fail(Where + "start pc does not hold this tape's op");
+    size_t F = 0;
+    while (F < Funcs.size() && T.StartPc > Funcs[F].EndPc)
+      ++F;
+    if (F == Funcs.size() || T.EndPc > Funcs[F].EndPc)
+      return Fail(Where + "span escapes its function region");
+    if (static_cast<uint64_t>(T.First) + T.Count > TapeKinds.size())
+      return Fail(Where + "entry range [" + std::to_string(T.First) + ", " +
+                  std::to_string(T.First + T.Count) +
+                  ") reaches past the entry arrays (" +
+                  std::to_string(TapeKinds.size()) + " entries)");
+    if (static_cast<uint64_t>(T.FirstSkip) + T.NumSkips > TapeSkips.size())
+      return Fail(Where + "skip range reaches past the skip table");
+
+    // Walk the entries with the Rep-nesting stack the replay loop uses,
+    // recomputing the dynamic totals as we go.
+    using u128 = unsigned __int128;
+    u128 Instrs = 0, Blocks = 0, Mem = 0, Mult = 1;
+    uint32_t Reps = 0;
+    std::vector<std::pair<uint32_t, uint32_t>> Nest; // (end, trip)
+    const uint32_t EndE = T.First + T.Count;
+    for (uint32_t I = T.First; I < EndE; ++I) {
+      while (!Nest.empty() && I == Nest.back().first) {
+        Mult /= Nest.back().second;
+        Nest.pop_back();
+      }
+      const std::string AtE = Where + "entry " + std::to_string(I - T.First) +
+                              ": ";
+      switch (TapeKinds[I]) {
+      case BcTapeEntryKind::Block: {
+        if (TapeA[I] >= B.Blocks.size())
+          return Fail(AtE + "block id " + std::to_string(TapeA[I]) +
+                      " out of range (" + std::to_string(B.Blocks.size()) +
+                      " blocks)");
+        const LoweredBlock &Blk = B.Blocks[TapeA[I]];
+        if (Blk.FuncId != F)
+          return Fail(AtE + "block " + std::to_string(TapeA[I]) +
+                      " belongs to function " + std::to_string(Blk.FuncId) +
+                      ", not " + std::to_string(F));
+        Instrs += u128(Blk.NumInstrs) * Mult;
+        Blocks += Mult;
+        for (const MemAccessSpec &Ms : Blk.MemOps)
+          Mem += u128(Ms.Count) * Mult;
+        break;
+      }
+      case BcTapeEntryKind::Back:
+        if (Nest.empty())
+          return Fail(AtE + "back-branch entry outside any repetition");
+        if (TapeA[I] >= TapeBranches.size())
+          return Fail(AtE + "branch record index out of range");
+        break;
+      case BcTapeEntryKind::Rep: {
+        if (TapeA[I] == 0)
+          return Fail(AtE + "repetition with zero trip count");
+        if (TapeB[I] == 0)
+          return Fail(AtE + "repetition with an empty body");
+        const uint64_t BodyEnd = static_cast<uint64_t>(I) + 1 + TapeB[I];
+        if (BodyEnd > EndE)
+          return Fail(AtE + "repetition body overruns its tape");
+        if (!Nest.empty() && BodyEnd > Nest.back().first)
+          return Fail(AtE + "repetition bodies overlap");
+        Nest.push_back({static_cast<uint32_t>(BodyEnd), TapeA[I]});
+        Mult *= TapeA[I];
+        ++Reps;
+        break;
+      }
+      default:
+        return Fail(AtE + "invalid tape entry kind");
+      }
+    }
+    if (Instrs != T.TotalInstrs || Blocks != T.TotalBlocks ||
+        Mem != T.TotalMem)
+      return Fail(Where + "totals do not match its entries");
+    if (Reps != T.NumReps)
+      return Fail(Where + "rep count does not match its entries (the "
+                          "flat-tape fast path keys off it)");
+  }
+
+  {
+    BcFusionOverlay C = computeFusionOverlay(B, *this);
+    if (!(C.FusedOps == FusedOps && C.Tapes == Tapes &&
+          C.TapeKinds == TapeKinds && C.TapeA == TapeA && C.TapeB == TapeB &&
+          C.TapeBranches == TapeBranches && C.TapeSkips == TapeSkips))
+      return Fail("fused overlay diverges from the canonical fusion of "
+                  "this program");
+  }
 
   return true;
 }

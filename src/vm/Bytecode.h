@@ -47,6 +47,7 @@
 #include "ir/Binary.h"
 #include "vm/Checkpoint.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -72,6 +73,11 @@ enum class BcOpcode : uint8_t {
              ///  call event, frame push.
   Ret,       ///< Ends a function: emits the return event and pops, or — on
              ///  an empty call stack — terminates the program.
+  Tape,      ///< A = tape index, B = pc past the fused region. Present only
+             ///  in a fused module's FusedOps overlay (never in Ops): replays
+             ///  the precompiled event tape when the remaining instruction
+             ///  budget strictly exceeds the tape's total, else falls back to
+             ///  the original op at this pc (see docs/bytecode.md).
 };
 
 /// One bytecode op. Kept to 12 bytes so hot loop bodies fit in a few cache
@@ -93,11 +99,17 @@ struct BcPayload {
   uint32_t TripSite = 0;
   uint32_t HeaderBlock = 0;
   uint32_t LatchBlock = 0;
+  /// Branch-event addresses cached at compile time so the hot LoopBack
+  /// handler touches no LoweredBlock. verify() pins them to the Binary.
+  uint64_t LatchTermAddr = 0; ///< == B.block(LatchBlock).termAddr()
+  uint64_t HeaderAddr = 0;    ///< == B.block(HeaderBlock).Addr
 
   // If (K == If).
   CondSpec Cond;
   uint32_t CondSite = 0;
   uint32_t CondBlock = 0;
+  uint64_t CondTermAddr = 0;   ///< == B.block(CondBlock).termAddr()
+  uint64_t CondTargetAddr = 0; ///< == B.block(CondBlock).Term.TargetAddr
 
   // Call (K == Call).
   std::vector<CallStmt::Candidate> Candidates;
@@ -105,6 +117,7 @@ struct BcPayload {
   bool RoundRobin = false;
   uint32_t RRSite = 0;
   uint32_t SiteBlock = 0;
+  uint64_t SiteTermAddr = 0; ///< == B.block(SiteBlock).termAddr()
 };
 
 /// One static frame of a capture descriptor: the part of a ResumeFrame that
@@ -153,6 +166,102 @@ struct BcFunc {
   std::vector<uint32_t> Body; ///< Node ordinals of the function body.
 };
 
+//===----------------------------------------------------------------------===//
+// Fusion overlay: superops + precompiled event tapes (see fuseBytecode).
+//===----------------------------------------------------------------------===//
+
+/// Kind of one precompiled tape entry. Entries live in the module's SoA
+/// arrays (TapeKinds / TapeA / TapeB); a tape is a [First, First+Count)
+/// slice of them.
+enum class BcTapeEntryKind : uint8_t {
+  Block, ///< A = global block id. Emits the block event and, when the
+         ///  observer consumes memory events, the block's memory runs
+         ///  (patched live from the per-site cursors; otherwise cursor
+         ///  advances are applied in bulk from the tape's skip table).
+  Back,  ///< A = index into TapeBranches. Emits the loop back-branch of the
+         ///  innermost enclosing Rep: taken while iterations remain.
+  Rep,   ///< A = constant trip count (>= 1), B = number of following
+         ///  entries forming the body. Replays the body A times — a
+         ///  constant-trip loop fused into a superop.
+};
+
+/// Precomputed operands of a Back entry's branch record: the latch block's
+/// terminator address and the header block's address, both static in the
+/// binary the module was compiled from.
+struct BcTapeBranch {
+  uint64_t Pc = 0;
+  uint64_t Target = 0;
+};
+
+/// Aggregated per-site cursor advance for one full tape replay, used when
+/// the observer provably ignores memory events: instead of walking every
+/// block's memory ops per visit, the dispatch loop applies one precomputed
+/// update per site touched by the tape (constant-loop multiplicities folded
+/// in at fusion time). Point sites advance nothing and get no entry.
+struct BcTapeSkip {
+  uint32_t Site = 0;
+  MemAccessSpec::Pattern Pat = MemAccessSpec::Pattern::Sequential;
+  uint64_t A0 = 0; ///< Sequential: total SeqPos advance. Random: total
+                   ///  counter delta. Chase: LCG multiplier of the composed
+                   ///  affine step (state' = state * A0 + A1 mod 2^64).
+  uint64_t A1 = 0; ///< Chase: addend of the composed affine step.
+};
+
+/// One precompiled event tape: the statically-determined event subsequence
+/// of the op run [StartPc, EndPc), baked into tape entries at fusion time.
+/// Totals are the full dynamic expansion (Rep multiplicities included) —
+/// the dispatch loop replays a tape only when the remaining instruction
+/// budget strictly exceeds TotalInstrs, so a suspension can never land
+/// mid-tape and safepoint behaviour is bit-identical to the unfused tier.
+struct BcTape {
+  uint32_t StartPc = 0;   ///< First op covered (the Tape op's pc).
+  uint32_t EndPc = 0;     ///< One past the last op covered.
+  uint32_t First = 0;     ///< First entry in the tape-entry SoA arrays.
+  uint32_t Count = 0;     ///< Number of entries.
+  uint32_t FirstSkip = 0; ///< First entry in TapeSkips.
+  uint32_t NumSkips = 0;
+  uint32_t NumReps = 0;   ///< Rep entries in [First, First+Count). A tape
+                          ///  with none is flat (Block entries only) and
+                          ///  replays through the dispatch loop's inlined
+                          ///  fast path instead of the rep-stack walker.
+  uint64_t TotalInstrs = 0;
+  uint64_t TotalBlocks = 0;
+  uint64_t TotalMem = 0;
+};
+
+inline bool operator==(const BcOp &L, const BcOp &R) {
+  return L.Op == R.Op && L.A == R.A && L.B == R.B;
+}
+inline bool operator==(const BcTapeBranch &L, const BcTapeBranch &R) {
+  return L.Pc == R.Pc && L.Target == R.Target;
+}
+inline bool operator==(const BcTapeSkip &L, const BcTapeSkip &R) {
+  return L.Site == R.Site && L.Pat == R.Pat && L.A0 == R.A0 && L.A1 == R.A1;
+}
+inline bool operator==(const BcTape &L, const BcTape &R) {
+  return L.StartPc == R.StartPc && L.EndPc == R.EndPc && L.First == R.First &&
+         L.Count == R.Count && L.FirstSkip == R.FirstSkip &&
+         L.NumSkips == R.NumSkips && L.NumReps == R.NumReps &&
+         L.TotalInstrs == R.TotalInstrs && L.TotalBlocks == R.TotalBlocks &&
+         L.TotalMem == R.TotalMem;
+}
+
+/// Verification memo (see Interpreter::requireVerified): the Binary a
+/// successful verify() ran against, so sharded drivers re-entering
+/// runBytecodeSegment per shard leg pay the O(module) structural check once
+/// per (module, binary) instead of once per segment. Copies and moves reset
+/// the memo — a copied module has not been verified. The benign case of two
+/// threads verifying the same (module, binary) concurrently stores the same
+/// pointer twice; the atomic keeps that race clean under TSan.
+struct BcVerifyToken {
+  mutable std::atomic<const void *> V{nullptr};
+  BcVerifyToken() = default;
+  BcVerifyToken(const BcVerifyToken &) noexcept {}
+  BcVerifyToken(BcVerifyToken &&) noexcept {}
+  BcVerifyToken &operator=(const BcVerifyToken &) noexcept { return *this; }
+  BcVerifyToken &operator=(BcVerifyToken &&) noexcept { return *this; }
+};
+
 /// A compiled module: everything the dispatch loop and the checkpoint
 /// mapper need, self-contained (does not alias the Binary's exec tree, but
 /// block/site ids still index into the Binary it was compiled from).
@@ -162,6 +271,27 @@ struct BytecodeModule {
   std::vector<BcCapture> Captures;
   std::vector<BcNodeIndex> Nodes;
   std::vector<BcFunc> Funcs;
+
+  /// Fusion overlay (fuseBytecode; empty on an unfused module). FusedOps
+  /// parallels Ops exactly: every pc that starts a precompiled tape holds a
+  /// Tape op, every other pc is byte-identical to Ops. The dispatch loop
+  /// reads FusedOps when present; Captures/Nodes/Funcs (and therefore the
+  /// whole cross-tier checkpoint mapping) are untouched by fusion, and a
+  /// checkpoint resume that lands mid-tape simply executes the remainder of
+  /// that construct through the identical original ops.
+  std::vector<BcOp> FusedOps;
+  std::vector<BcTape> Tapes;
+  std::vector<BcTapeEntryKind> TapeKinds;
+  std::vector<uint32_t> TapeA;
+  std::vector<uint32_t> TapeB;
+  std::vector<BcTapeBranch> TapeBranches;
+  std::vector<BcTapeSkip> TapeSkips;
+
+  /// True when the fusion pass has installed an overlay.
+  bool fused() const { return !FusedOps.empty(); }
+
+  /// Verification memo; see BcVerifyToken.
+  BcVerifyToken Verified;
 
   /// Structural counts of the source binary, recorded at compile time so
   /// verify() can cross-check the module against the binary it will run on.

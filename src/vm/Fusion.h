@@ -1,0 +1,66 @@
+//===- vm/Fusion.h - Superop fusion over the bytecode tier ------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bytecode fusion pass: an optimization over a compiled BytecodeModule
+/// that (a) fuses straight-line op runs and constant-trip loops into
+/// superops and (b) precompiles per-block event tapes — compact SoA
+/// fragments of the statically-determined event subsequence (block events,
+/// instruction totals, loop back-branch records, bulk per-site memory-cursor
+/// advances) replayed by the dispatch loop with a tight patch-and-emit loop
+/// instead of per-op dispatch. RNG-dependent constructs (non-constant trip
+/// counts, branch conditions, call sites) stay live ops with an identical
+/// draw order, so the emitted event stream is byte-identical to the unfused
+/// tier by construction.
+///
+/// Fusion is an overlay: the module's Ops/Captures/Nodes/Funcs tables are
+/// untouched, FusedOps replaces only tape-start pcs with Tape ops, and every
+/// other pc stays byte-identical. Cross-tier checkpoints therefore keep
+/// working unchanged — a resume that lands mid-tape executes the remainder
+/// of that construct through the original ops, and the dispatch loop's
+/// strict budget guard keeps suspensions out of tape replays entirely.
+/// See docs/bytecode.md for the tape format and verifier invariants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_VM_FUSION_H
+#define SPM_VM_FUSION_H
+
+#include "vm/Bytecode.h"
+
+namespace spm {
+
+/// The fusion overlay tables, grouped so the verifier can recompute them
+/// independently of the module that claims to carry them.
+struct BcFusionOverlay {
+  std::vector<BcOp> FusedOps;
+  std::vector<BcTape> Tapes;
+  std::vector<BcTapeEntryKind> TapeKinds;
+  std::vector<uint32_t> TapeA;
+  std::vector<uint32_t> TapeB;
+  std::vector<BcTapeBranch> TapeBranches;
+  std::vector<BcTapeSkip> TapeSkips;
+};
+
+/// Computes the canonical fusion overlay of \p M (which must verify against
+/// \p B in its unfused parts) — a pure, deterministic function of the
+/// module's Ops/Payloads and the binary's block tables. fuseBytecode
+/// installs exactly this overlay, and BytecodeModule::verify recomputes it
+/// to prove a fused module's tapes are consistent with its program: any
+/// hand-mutated tape fails the comparison and is rejected before execution.
+BcFusionOverlay computeFusionOverlay(const Binary &B, const BytecodeModule &M);
+
+/// Returns \p M with the canonical fusion overlay installed. The result
+/// still passes verify(B) and is immutable afterwards; the event stream it
+/// produces under the dispatch loop is byte-identical to the unfused
+/// module's. Idempotent: fusing an already-fused module recomputes the same
+/// overlay.
+BytecodeModule fuseBytecode(const Binary &B, BytecodeModule M);
+
+} // namespace spm
+
+#endif // SPM_VM_FUSION_H

@@ -14,6 +14,12 @@
 // round-robin). Degenerate shapes appear on purpose: empty function bodies,
 // empty loop/if bodies, and deep nesting chains.
 //
+// A slice of the statement mix is fusion-adversarial: shapes that sit
+// exactly on superop/tape boundaries of the fused bytecode tier — zero-trip
+// constant loops wedged between fusable runs, frame-depth-cap saturation at
+// a superop edge, ungated recursion immediately after a fusable run, and
+// single-code-block functions (the minimal tape candidate).
+//
 // Everything is a pure function of the seed, so a failing program is
 // reproducible from the test log alone.
 //
@@ -74,6 +80,12 @@ public:
         // only); ~1 in 8 top-level lists opens with a deep nesting chain.
         if (R.nextBool(0.1) && F != 0)
           return;
+        // ~1 in 12 bodies is a single code statement: lowers to the
+        // smallest fusable function (entry run + exit anchor).
+        if (R.nextBool(0.085)) {
+          code(FB);
+          return;
+        }
         if (R.nextBool(0.125))
           deepChain(FB, 5 + static_cast<uint32_t>(R.nextBelow(5)));
         stmtList(FB, F, /*Depth=*/0,
@@ -113,13 +125,13 @@ private:
   void stmt(FunctionBuilder &FB, uint32_t FuncId, uint32_t Depth) {
     // Past the nesting budget only leaves remain.
     uint64_t Pick = R.nextBelow(Depth >= 3 ? 30 : 100);
-    if (Pick < 40) {
+    if (Pick < 38) {
       code(FB);
-    } else if (Pick < 65) {
+    } else if (Pick < 63) {
       uint32_t N = bodyCount(Depth);
       FB.loop(tripSpec(), [&] { stmtList(FB, FuncId, Depth + 1, N); },
               /*HeaderIntOps=*/1 + static_cast<uint32_t>(R.nextBelow(3)));
-    } else if (Pick < 85) {
+    } else if (Pick < 82) {
       uint32_t NThen = bodyCount(Depth);
       bool HasElse = R.nextBool(0.5);
       uint32_t NElse = HasElse ? bodyCount(Depth) : 0;
@@ -129,8 +141,46 @@ private:
                   [&] { stmtList(FB, FuncId, Depth + 1, NElse); });
       else
         FB.branch(condSpec(), Then);
-    } else {
+    } else if (Pick < 94) {
       callSite(FB, FuncId);
+    } else {
+      fusionShape(FB, FuncId);
+    }
+  }
+
+  /// Fusion-adversarial statements: each lands a construct exactly on a
+  /// superop/tape boundary of the fused bytecode tier.
+  void fusionShape(FunctionBuilder &FB, uint32_t FuncId) {
+    switch (R.nextBelow(4)) {
+    case 0:
+      // Zero-trip constant loop wedged between two fusable code runs: the
+      // loop folds away inside one tape; its (never-run) body must not
+      // break the run on either side.
+      code(FB);
+      FB.loop(TripCountSpec::constant(0),
+              [&] { stmtList(FB, FuncId, /*Depth=*/3, 2); });
+      code(FB);
+      break;
+    case 1:
+      // Constant-trip nest saturating the frame-path depth with fusable
+      // code on both sides: capture/resume paths of maximal depth begin
+      // and end at superop boundaries.
+      code(FB);
+      deepChain(FB, 7 + static_cast<uint32_t>(R.nextBelow(3)));
+      code(FB);
+      break;
+    case 2:
+      // Ungated self-recursion immediately after a fusable run: the tape
+      // ends at the call op and MaxCallDepth saturates at its boundary.
+      code(FB);
+      FB.callIf(FuncId, 1.0);
+      break;
+    default:
+      // Constant loop over a single code block: the minimal Rep-entry
+      // tape, including the degenerate trip-1 rep.
+      FB.loop(TripCountSpec::constant(1 + R.nextBelow(3)),
+              [&] { code(FB); });
+      break;
     }
   }
 

@@ -1,13 +1,16 @@
 //===- tests/bytecodefuzz_test.cpp - bytecode tier differential fuzz ------==//
 //
 // Proves the flat bytecode execution tier (compileBytecode + runBytecode)
-// correct by construction against the tree walk, on hundreds of generated
-// programs (tests/IrGen.h): the full event stream, call-loop graph dumps,
-// BBV interval streams, marker intervals + firing traces, and cache
-// counters must be byte-identical across run / runFast / runBytecode.
-// Also fuzzes checkpoint interchange (a segment suspended under one tier
-// resumes under the other), the sharded drivers' bytecode path, and the
-// module verifier's rejection of malformed modules.
+// and its fused form (fuseBytecode: superops + precompiled block event
+// tapes) correct by construction against the tree walk, on hundreds of
+// generated programs (tests/IrGen.h): the full event stream, call-loop
+// graph dumps, BBV interval streams, marker intervals + firing traces, and
+// cache counters must be byte-identical across run / runFast /
+// runBytecode, plain and fused alike. Also fuzzes checkpoint interchange
+// (a segment suspended under one tier resumes under another, including
+// resumes that land inside a fused tape's op span), the sharded drivers'
+// bytecode path, and the module verifier's rejection of malformed modules
+// and corrupted fusion overlays.
 //
 //===----------------------------------------------------------------------==//
 
@@ -18,6 +21,7 @@
 #include "markers/Selector.h"
 #include "markers/Sharded.h"
 #include "vm/Bytecode.h"
+#include "vm/Fusion.h"
 
 #include <gtest/gtest.h>
 
@@ -119,19 +123,26 @@ public:
 
 struct NullObs {};
 
-/// Runs the full three-tier stream differential on one (program, input)
-/// pair. The module is compiled and verified once per call.
+/// Runs the full four-tier stream differential on one (program, input)
+/// pair: tree walk, devirtualized walk, plain bytecode, and fused
+/// bytecode (superops + tapes). The modules are compiled and verified
+/// once per call.
 void diffOneProgram(const Binary &B, const BytecodeModule &M,
-                    const WorkloadInput &In, const std::string &Ctx) {
-  RecordingObserver Legacy, Fast, Bc;
+                    const BytecodeModule &F, const WorkloadInput &In,
+                    const std::string &Ctx) {
+  RecordingObserver Legacy, Fast, Bc, Fz;
   RunResult R1 = Interpreter(B, In).run(Legacy, FuzzCap);
   RunResult R2 = Interpreter(B, In).runFast(Fast, FuzzCap);
   RunResult R3 = Interpreter(B, In).runBytecode(M, Bc, FuzzCap);
+  RunResult R4 = Interpreter(B, In).runBytecode(F, Fz, FuzzCap);
   expectSameRun(R1, R2, Ctx + " (fast)");
   expectSameRun(R1, R3, Ctx + " (bytecode)");
+  expectSameRun(R1, R4, Ctx + " (fused)");
   ASSERT_EQ(Legacy.Events.size(), Bc.Events.size()) << Ctx;
+  ASSERT_EQ(Legacy.Events.size(), Fz.Events.size()) << Ctx;
   EXPECT_TRUE(Legacy.Events == Fast.Events) << Ctx << " (fast)";
   EXPECT_TRUE(Legacy.Events == Bc.Events) << Ctx << " (bytecode)";
+  EXPECT_TRUE(Legacy.Events == Fz.Events) << Ctx << " (fused)";
 }
 
 } // namespace
@@ -142,42 +153,60 @@ void diffOneProgram(const Binary &B, const BytecodeModule &M,
 
 // 200 generated programs x 2 input seeds: the event stream (blocks with
 // addresses, memory accesses, branches with direction, calls, returns)
-// must be byte-identical across all three tiers, on completed and
-// cap-truncated runs alike.
+// must be byte-identical across all four tiers, on completed and
+// cap-truncated runs alike. The fused leg replays precompiled tapes for
+// the straight-line and constant-trip regions, so a single reordered or
+// dropped event — or a wrong RNG draw order at a tape boundary — fails
+// the stream comparison.
 TEST(BytecodeFuzz, EventStreamDifferential) {
+  size_t ProgramsWithTapes = 0;
   for (uint64_t Seed = 0; Seed < NumPrograms; ++Seed) {
     auto Prog = irgen::generateProgram(Seed);
     auto B = lower(*Prog, LoweringOptions::O2());
     BytecodeModule M = compileBytecode(*B);
     std::string Err;
     ASSERT_TRUE(M.verify(*B, &Err)) << "seed " << Seed << ": " << Err;
+    BytecodeModule F = fuseBytecode(*B, M);
+    ASSERT_TRUE(F.verify(*B, &Err)) << "seed " << Seed << " fused: " << Err;
+    if (!F.Tapes.empty())
+      ++ProgramsWithTapes;
     for (uint64_t InSeed : {Seed, Seed + 1000}) {
       WorkloadInput In = irgen::makeInput(InSeed);
-      diffOneProgram(*B, M, In,
+      diffOneProgram(*B, M, F, In,
                      "program " + std::to_string(Seed) + " input " +
                          std::to_string(InSeed));
     }
   }
+  // The generator's fusion-adversarial slice must actually produce fused
+  // regions on most programs, or the fused legs above degenerate into the
+  // plain-bytecode differential.
+  EXPECT_GE(ProgramsWithTapes, NumPrograms / 2);
 }
 
 // Cache counters (the observer with the most derived per-event state) on a
-// standalone PerfModel across all three tiers.
+// standalone PerfModel across all four tiers. PerfModel wants memory
+// events, so the fused leg exercises the tape path that regenerates every
+// address instead of bulk-advancing cursors.
 TEST(BytecodeFuzz, CacheCounterDifferential) {
   for (uint64_t Seed = 0; Seed < 60; ++Seed) {
     auto Prog = irgen::generateProgram(Seed);
     auto B = lower(*Prog, LoweringOptions::O2());
     BytecodeModule M = compileBytecode(*B);
+    BytecodeModule F = fuseBytecode(*B, M);
     WorkloadInput In = irgen::makeInput(Seed);
     std::string Ctx = "program " + std::to_string(Seed);
 
-    PerfModel P1, P2, P3;
+    PerfModel P1, P2, P3, P4;
     RunResult R1 = Interpreter(*B, In).run(P1, FuzzCap);
     RunResult R2 = Interpreter(*B, In).runFast(P2, FuzzCap);
     RunResult R3 = Interpreter(*B, In).runBytecode(M, P3, FuzzCap);
+    RunResult R4 = Interpreter(*B, In).runBytecode(F, P4, FuzzCap);
     expectSameRun(R1, R2, Ctx + " (fast)");
     expectSameRun(R1, R3, Ctx + " (bytecode)");
+    expectSameRun(R1, R4, Ctx + " (fused)");
     expectSameCounters(P1.counters(), P2.counters(), Ctx + " (fast)");
     expectSameCounters(P1.counters(), P3.counters(), Ctx + " (bytecode)");
+    expectSameCounters(P1.counters(), P4.counters(), Ctx + " (fused)");
   }
 }
 
@@ -195,11 +224,16 @@ TEST(BytecodeFuzz, GraphDumpDifferential) {
     BytecodeModule M = compileBytecode(*B);
     WorkloadInput In = irgen::makeInput(Seed);
 
+    BytecodeModule F = fuseBytecode(*B, M);
     auto GTree = buildCallLoopGraph(*B, Loops, In, FuzzCap);
     auto GBc = buildCallLoopGraph(*B, Loops, In, FuzzCap,
                                   /*Extra=*/nullptr, &M);
+    auto GFz = buildCallLoopGraph(*B, Loops, In, FuzzCap,
+                                  /*Extra=*/nullptr, &F);
     EXPECT_EQ(printGraph(*GTree), printGraph(*GBc))
         << "program " << Seed;
+    EXPECT_EQ(printGraph(*GTree), printGraph(*GFz))
+        << "program " << Seed << " (fused)";
   }
 }
 
@@ -212,12 +246,18 @@ TEST(BytecodeFuzz, FixedIntervalsDifferential) {
     BytecodeModule M = compileBytecode(*B);
     WorkloadInput In = irgen::makeInput(Seed);
 
+    BytecodeModule F = fuseBytecode(*B, M);
     std::vector<IntervalRecord> Tree =
         runFixedIntervals(*B, In, Len, /*CollectBbv=*/true, FuzzCap);
     std::vector<IntervalRecord> Bc =
         runFixedIntervals(*B, In, Len, /*CollectBbv=*/true, FuzzCap,
                           PerfModelOptions(), &M);
+    std::vector<IntervalRecord> Fz =
+        runFixedIntervals(*B, In, Len, /*CollectBbv=*/true, FuzzCap,
+                          PerfModelOptions(), &F);
     expectSameIntervals(Tree, Bc, "program " + std::to_string(Seed));
+    expectSameIntervals(Tree, Fz,
+                        "program " + std::to_string(Seed) + " (fused)");
   }
 }
 
@@ -242,6 +282,7 @@ TEST(BytecodeFuzz, MarkerIntervalsDifferential) {
     ++Differentiated;
 
     std::string Ctx = "program " + std::to_string(Seed);
+    BytecodeModule F = fuseBytecode(*B, M);
     MarkerRun Tree = runMarkerIntervals(*B, Loops, *G, Sel.Markers, In,
                                         /*CollectBbv=*/true,
                                         /*RecordFirings=*/true, FuzzCap);
@@ -249,9 +290,16 @@ TEST(BytecodeFuzz, MarkerIntervalsDifferential) {
                                       /*CollectBbv=*/true,
                                       /*RecordFirings=*/true, FuzzCap,
                                       PerfModelOptions(), &M);
+    MarkerRun Fz = runMarkerIntervals(*B, Loops, *G, Sel.Markers, In,
+                                      /*CollectBbv=*/true,
+                                      /*RecordFirings=*/true, FuzzCap,
+                                      PerfModelOptions(), &F);
     EXPECT_EQ(Tree.Firings, Bc.Firings) << Ctx;
     expectSameRun(Tree.Run, Bc.Run, Ctx);
     expectSameIntervals(Tree.Intervals, Bc.Intervals, Ctx);
+    EXPECT_EQ(Tree.Firings, Fz.Firings) << Ctx << " (fused)";
+    expectSameRun(Tree.Run, Fz.Run, Ctx + " (fused)");
+    expectSameIntervals(Tree.Intervals, Fz.Intervals, Ctx + " (fused)");
   }
   // The scan must find enough marker-bearing programs for this
   // differential to mean something.
@@ -262,28 +310,33 @@ TEST(BytecodeFuzz, MarkerIntervalsDifferential) {
 // Checkpoint interchange between tiers
 //===----------------------------------------------------------------------===//
 
-// Random split points: a run executed as chained segments that alternate
-// tiers (bytecode, tree, bytecode, ...) across checkpoints must concatenate
-// to the exact uninterrupted event stream. This is the "checkpoints are
-// interchangeable between tiers" contract.
+// Random split points: a run executed as chained segments that rotate
+// tiers (fused bytecode, tree, plain bytecode, ...) across checkpoints
+// must concatenate to the exact uninterrupted event stream. This is the
+// "checkpoints are interchangeable between tiers" contract, now including
+// the fused tier: a checkpoint saved by the tree walk or plain bytecode
+// can land anywhere — including inside a fused tape's op span — and the
+// fused dispatch loop must resume it through the original ops until the
+// next tape start.
 TEST(BytecodeFuzz, CheckpointResumeAcrossTiers) {
   size_t Suspended = 0;
   for (uint64_t Round = 0; Round < 40; ++Round) {
     auto Prog = irgen::generateProgram(Round);
     auto B = lower(*Prog, LoweringOptions::O2());
     BytecodeModule M = compileBytecode(*B);
+    BytecodeModule F = fuseBytecode(*B, M);
     WorkloadInput In = irgen::makeInput(Round + 7);
     std::string Ctx = "round " + std::to_string(Round);
 
     RecordingObserver Ref;
-    RunResult RRef = Interpreter(*B, In).runBytecode(M, Ref, FuzzCap);
+    RunResult RRef = Interpreter(*B, In).runBytecode(F, Ref, FuzzCap);
 
-    // 2-4 segments with split points drawn across the observed length
+    // 2-5 segments with split points drawn across the observed length
     // (clamped up so zero-length runs still exercise the boundary paths).
     Rng R(splitMix64(Round ^ 0xc0ffee));
     uint64_t Len = RRef.TotalInstrs > 0 ? RRef.TotalInstrs : 1;
     std::vector<uint64_t> Until;
-    uint64_t NumSegs = 2 + R.nextBelow(3);
+    uint64_t NumSegs = 2 + R.nextBelow(4);
     for (uint64_t S = 0; S + 1 < NumSegs; ++S)
       Until.push_back(1 + R.nextBelow(Len));
     std::sort(Until.begin(), Until.end());
@@ -296,11 +349,20 @@ TEST(BytecodeFuzz, CheckpointResumeAcrossTiers) {
     for (size_t S = 0; S < Until.size(); ++S) {
       InterpCheckpoint *Out = &Cks[S % 2];
       Interpreter I(*B, In);
-      // Even segments run bytecode, odd segments run the tree walk; every
-      // boundary is a cross-tier handoff.
-      RLast = (S % 2 == 0)
-                  ? I.runBytecodeSegment(M, Chained, From, Until[S], Out)
-                  : I.runFastSegment(Chained, From, Until[S], Out);
+      // Rotate fused -> tree -> plain bytecode; every boundary is a
+      // cross-tier handoff and two of the three hops involve the fused
+      // module on one side.
+      switch (S % 3) {
+      case 0:
+        RLast = I.runBytecodeSegment(F, Chained, From, Until[S], Out);
+        break;
+      case 1:
+        RLast = I.runFastSegment(Chained, From, Until[S], Out);
+        break;
+      default:
+        RLast = I.runBytecodeSegment(M, Chained, From, Until[S], Out);
+        break;
+      }
       if (!Out->Finished && !Out->Frames.empty())
         ++Suspended;
       From = Out;
@@ -323,16 +385,18 @@ TEST(BytecodeFuzz, CheckpointFramesIdenticalAcrossTiers) {
     auto Prog = irgen::generateProgram(Round + 100);
     auto B = lower(*Prog, LoweringOptions::O2());
     BytecodeModule M = compileBytecode(*B);
+    BytecodeModule Fm = fuseBytecode(*B, M);
     WorkloadInput In = irgen::makeInput(Round);
     std::string Ctx = "round " + std::to_string(Round);
 
     Rng R(splitMix64(Round * 977 + 5));
     uint64_t Until = 1 + R.nextBelow(FuzzCap / 4);
 
-    NullObs OA, OB;
-    InterpCheckpoint CTree, CBc;
+    NullObs OA, OB, OC;
+    InterpCheckpoint CTree, CBc, CFz;
     Interpreter(*B, In).runFastSegment(OA, nullptr, Until, &CTree);
     Interpreter(*B, In).runBytecodeSegment(M, OB, nullptr, Until, &CBc);
+    Interpreter(*B, In).runBytecodeSegment(Fm, OC, nullptr, Until, &CFz);
 
     EXPECT_EQ(CTree.Finished, CBc.Finished) << Ctx;
     EXPECT_EQ(CTree.TotalInstrs, CBc.TotalInstrs) << Ctx;
@@ -342,6 +406,17 @@ TEST(BytecodeFuzz, CheckpointFramesIdenticalAcrossTiers) {
     for (size_t F = 0; F < CTree.Frames.size(); ++F)
       EXPECT_TRUE(CTree.Frames[F] == CBc.Frames[F])
           << Ctx << " frame " << F;
+    // The fused tier's strict budget guard means it suspends at the same
+    // op boundary as the plain tier, so the checkpoints are identical too.
+    EXPECT_EQ(CTree.Finished, CFz.Finished) << Ctx << " (fused)";
+    EXPECT_EQ(CTree.TotalInstrs, CFz.TotalInstrs) << Ctx << " (fused)";
+    EXPECT_EQ(CTree.TotalBlocks, CFz.TotalBlocks) << Ctx << " (fused)";
+    EXPECT_EQ(CTree.TotalMemAccesses, CFz.TotalMemAccesses)
+        << Ctx << " (fused)";
+    ASSERT_EQ(CTree.Frames.size(), CFz.Frames.size()) << Ctx << " (fused)";
+    for (size_t F = 0; F < CTree.Frames.size(); ++F)
+      EXPECT_TRUE(CTree.Frames[F] == CFz.Frames[F])
+          << Ctx << " (fused) frame " << F;
   }
 }
 
@@ -349,15 +424,19 @@ TEST(BytecodeFuzz, CheckpointFramesIdenticalAcrossTiers) {
 // Sharded drivers over the bytecode tier
 //===----------------------------------------------------------------------===//
 
-// All three sharded drivers with the bytecode path, shards in {1, 3},
-// compared against the unsharded tree-tier reference: graphs, marker
-// intervals + firings, and fixed intervals must match exactly.
+// All three sharded drivers with the bytecode path — plain and fused
+// modules both — shards in {1, 3}, compared against the unsharded
+// tree-tier reference: graphs, marker intervals + firings, and fixed
+// intervals must match exactly. Shard boundaries are arbitrary
+// instruction counts, so the fused legs also exercise segment resumes
+// that land inside tape spans.
 TEST(BytecodeFuzz, ShardedBytecodeDifferential) {
   for (uint64_t Seed = 0; Seed < 8; ++Seed) {
     auto Prog = irgen::generateProgram(Seed * 13 + 3);
     auto B = lower(*Prog, LoweringOptions::O2());
     LoopIndex Loops = LoopIndex::build(*B);
-    BytecodeModule M = compileBytecode(*B);
+    BytecodeModule Plain = compileBytecode(*B);
+    BytecodeModule Fused = fuseBytecode(*B, Plain);
     WorkloadInput In = irgen::makeInput(Seed);
     std::string Ctx = "program " + std::to_string(Seed);
 
@@ -372,24 +451,27 @@ TEST(BytecodeFuzz, ShardedBytecodeDifferential) {
     std::vector<IntervalRecord> FRef =
         runFixedIntervals(*B, In, 10'000, /*CollectBbv=*/true, FuzzCap);
 
-    for (unsigned NShards : {1u, 3u}) {
-      std::string SCtx = Ctx + " shards " + std::to_string(NShards);
-      auto G = buildCallLoopGraphSharded(*B, Loops, In, NShards, FuzzCap,
-                                         /*ShardSeconds=*/nullptr, &M);
-      EXPECT_EQ(DumpRef, printGraph(*G)) << SCtx;
+    for (const BytecodeModule *M : {&Plain, &Fused}) {
+      for (unsigned NShards : {1u, 3u}) {
+        std::string SCtx = Ctx + (M == &Fused ? " fused" : "") +
+                           " shards " + std::to_string(NShards);
+        auto G = buildCallLoopGraphSharded(*B, Loops, In, NShards, FuzzCap,
+                                           /*ShardSeconds=*/nullptr, M);
+        EXPECT_EQ(DumpRef, printGraph(*G)) << SCtx;
 
-      MarkerRun MR = runMarkerIntervalsSharded(
-          *B, Loops, *GRef, Sel.Markers, In, /*CollectBbv=*/true,
-          /*RecordFirings=*/true, NShards, FuzzCap, PerfModelOptions(),
-          /*ShardSeconds=*/nullptr, &M);
-      EXPECT_EQ(MRef.Firings, MR.Firings) << SCtx;
-      expectSameRun(MRef.Run, MR.Run, SCtx);
-      expectSameIntervals(MRef.Intervals, MR.Intervals, SCtx);
+        MarkerRun MR = runMarkerIntervalsSharded(
+            *B, Loops, *GRef, Sel.Markers, In, /*CollectBbv=*/true,
+            /*RecordFirings=*/true, NShards, FuzzCap, PerfModelOptions(),
+            /*ShardSeconds=*/nullptr, M);
+        EXPECT_EQ(MRef.Firings, MR.Firings) << SCtx;
+        expectSameRun(MRef.Run, MR.Run, SCtx);
+        expectSameIntervals(MRef.Intervals, MR.Intervals, SCtx);
 
-      std::vector<IntervalRecord> FI = runFixedIntervalsSharded(
-          *B, In, 10'000, /*CollectBbv=*/true, NShards, FuzzCap,
-          PerfModelOptions(), /*ShardSeconds=*/nullptr, &M);
-      expectSameIntervals(FRef, FI, SCtx);
+        std::vector<IntervalRecord> FI = runFixedIntervalsSharded(
+            *B, In, 10'000, /*CollectBbv=*/true, NShards, FuzzCap,
+            PerfModelOptions(), /*ShardSeconds=*/nullptr, M);
+        expectSameIntervals(FRef, FI, SCtx);
+      }
     }
   }
 }
@@ -508,6 +590,157 @@ TEST(BytecodeVerifier, RejectsMalformedModules) {
 }
 
 //===----------------------------------------------------------------------===//
+// Verifier negatives: corrupted fusion overlays are rejected, never replayed
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Handcrafted program whose fused module carries both a flat tape and a
+/// repetition tape: a straight-line run, a constant-trip loop with a
+/// straight-line body, a live call breaking the tape, and a trailing run.
+std::unique_ptr<SourceProgram> handTapeProgram() {
+  ProgramBuilder PB("handtape");
+  PB.region(MemRegionSpec::fixed("r", 4096));
+  PB.declare("main");
+  PB.declare("leaf");
+  PB.define(0, [](FunctionBuilder &FB) {
+    FB.code(4);
+    FB.loop(TripCountSpec::constant(3), [&] { FB.code(2); });
+    FB.call(1); // Live op: splits the function into two tapes.
+    FB.code(1);
+  });
+  PB.define(1, [](FunctionBuilder &FB) { FB.code(5); });
+  return PB.take();
+}
+
+/// Index of the first tape entry of kind \p K; asserts one exists.
+uint32_t findEntry(const BytecodeModule &M, BcTapeEntryKind K) {
+  for (uint32_t I = 0; I < M.TapeKinds.size(); ++I)
+    if (M.TapeKinds[I] == K)
+      return I;
+  ADD_FAILURE() << "tape entry kind not found in handcrafted module";
+  return 0;
+}
+
+/// Index of the tape owning entry \p E.
+uint32_t tapeOfEntry(const BytecodeModule &M, uint32_t E) {
+  for (uint32_t T = 0; T < M.Tapes.size(); ++T)
+    if (E >= M.Tapes[T].First && E < M.Tapes[T].First + M.Tapes[T].Count)
+      return T;
+  ADD_FAILURE() << "entry not covered by any tape";
+  return 0;
+}
+
+} // namespace
+
+// Superop/tape mutations: a tape whose length no longer matches its entry
+// arrays, a fused op whose payload kind is confused (a repetition entry
+// reinterpreted as a block entry, and vice versa), a tape referencing a
+// block the program's function can never reach, a rep count that disagrees
+// with the entries, and cached branch addresses diverging from the binary.
+// Every one must fail verify() with a diagnostic and never deliver an
+// event.
+TEST(BytecodeVerifier, RejectsCorruptedFusionOverlays) {
+  auto Prog = handTapeProgram();
+  auto B = lower(*Prog, LoweringOptions::O2());
+  WorkloadInput In("handtape", 42);
+  BytecodeModule Good = fuseBytecode(*B, compileBytecode(*B));
+  std::string Err;
+  ASSERT_TRUE(Good.verify(*B, &Err)) << Err;
+  ASSERT_TRUE(Good.fused());
+  ASSERT_GE(Good.Tapes.size(), 2u);
+  // The constant-trip loop must have fused into a repetition entry, or the
+  // mutations below corrupt nothing interesting.
+  findEntry(Good, BcTapeEntryKind::Rep);
+
+  auto expectRejected = [&](BytecodeModule M, const char *What) {
+    std::string E;
+    EXPECT_FALSE(M.verify(*B, &E)) << What;
+    EXPECT_FALSE(E.empty()) << What;
+    RecordingObserver O;
+    Interpreter I(*B, In);
+    EXPECT_THROW(I.runBytecode(M, O), std::invalid_argument) << What;
+    EXPECT_TRUE(O.Events.empty())
+        << What << ": rejected module delivered events";
+  };
+
+  {
+    BytecodeModule M = Good;
+    // The last tape's entry range now reaches past the entry arrays.
+    M.Tapes.back().Count += 1;
+    expectRejected(std::move(M), "tape length mismatch");
+  }
+  {
+    BytecodeModule M = Good;
+    // Payload-kind confusion: the repetition's trip count is reinterpreted
+    // as a block id.
+    M.TapeKinds[findEntry(M, BcTapeEntryKind::Rep)] =
+        BcTapeEntryKind::Block;
+    expectRejected(std::move(M), "rep entry confused for a block entry");
+  }
+  {
+    BytecodeModule M = Good;
+    // And the reverse: a block id reinterpreted as a trip count.
+    M.TapeKinds[findEntry(M, BcTapeEntryKind::Block)] =
+        BcTapeEntryKind::Rep;
+    expectRejected(std::move(M), "block entry confused for a rep entry");
+  }
+  {
+    BytecodeModule M = Good;
+    // Dead block: retarget a tape entry in main at leaf's block — a block
+    // this function's tapes can never legally replay.
+    uint32_t E = findEntry(M, BcTapeEntryKind::Block);
+    uint32_t TapeFunc = B->Blocks[M.TapeA[E]].FuncId;
+    uint32_t Dead = UINT32_MAX;
+    for (uint32_t Blk = 0; Blk < B->Blocks.size(); ++Blk)
+      if (B->Blocks[Blk].FuncId != TapeFunc)
+        Dead = Blk;
+    ASSERT_NE(Dead, UINT32_MAX);
+    M.TapeA[E] = Dead;
+    expectRejected(std::move(M), "tape references a dead block");
+  }
+  {
+    BytecodeModule M = Good;
+    M.TapeA[findEntry(M, BcTapeEntryKind::Block)] =
+        static_cast<uint32_t>(B->Blocks.size()) + 11;
+    expectRejected(std::move(M), "tape block id out of range");
+  }
+  {
+    BytecodeModule M = Good;
+    // The flat-tape fast path keys off NumReps; a lie here would replay a
+    // rep tape as straight-line.
+    uint32_t T = tapeOfEntry(M, findEntry(M, BcTapeEntryKind::Rep));
+    M.Tapes[T].NumReps = 0;
+    expectRejected(std::move(M), "rep count mismatch");
+  }
+  {
+    BytecodeModule M = Good;
+    // A tape op pointing at a tape that does not exist.
+    uint32_t Pc = 0;
+    while (Pc < M.FusedOps.size() && M.FusedOps[Pc].Op != BcOpcode::Tape)
+      ++Pc;
+    ASSERT_LT(Pc, M.FusedOps.size());
+    M.FusedOps[Pc].A = static_cast<uint32_t>(M.Tapes.size()) + 2;
+    expectRejected(std::move(M), "tape index out of range");
+  }
+  {
+    BytecodeModule M = Good;
+    // Claimed totals feed the budget guard and the replay's bookkeeping;
+    // they must match the entries exactly.
+    M.Tapes.front().TotalInstrs += 1;
+    expectRejected(std::move(M), "tape totals mismatch");
+  }
+  {
+    BytecodeModule M = Good;
+    // Cached branch addresses in a loop payload diverging from the binary
+    // would make the fused LoopBack handler emit a wrong branch event.
+    uint32_t P = M.Ops[findOp(M, BcOpcode::LoopBegin)].A;
+    M.Payloads[P].HeaderAddr += 8;
+    expectRejected(std::move(M), "cached branch address divergence");
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Targeted degenerate shapes
 //===----------------------------------------------------------------------===//
 
@@ -519,8 +752,10 @@ void diffHandBuilt(std::unique_ptr<SourceProgram> Prog, uint64_t Seed,
   BytecodeModule M = compileBytecode(*B);
   std::string Err;
   ASSERT_TRUE(M.verify(*B, &Err)) << Ctx << ": " << Err;
+  BytecodeModule F = fuseBytecode(*B, M);
+  ASSERT_TRUE(F.verify(*B, &Err)) << Ctx << " fused: " << Err;
   WorkloadInput In(Ctx, Seed);
-  diffOneProgram(*B, M, In, Ctx);
+  diffOneProgram(*B, M, F, In, Ctx);
 }
 
 } // namespace
@@ -571,5 +806,27 @@ TEST(BytecodeFuzz, DegenerateShapes) {
       FB.code(1);
     });
     diffHandBuilt(PB.take(), 4, "depth-cap saturation");
+  }
+  {
+    // Trip-1 constant loop: the smallest legal repetition tape.
+    ProgramBuilder PB("trip1");
+    PB.region(MemRegionSpec::fixed("r", 1024));
+    PB.declare("main");
+    PB.define(0, [](FunctionBuilder &FB) {
+      FB.loop(TripCountSpec::constant(1), [&] { FB.code(3); });
+    });
+    diffHandBuilt(PB.take(), 5, "trip-1 rep tape");
+  }
+  {
+    // A tape big enough to exceed the remaining budget near the cap: the
+    // budget guard must fall back to the original ops and suspend at the
+    // same block boundary as the plain tier.
+    ProgramBuilder PB("bigtape");
+    PB.region(MemRegionSpec::fixed("r", 4096));
+    PB.declare("main");
+    PB.define(0, [](FunctionBuilder &FB) {
+      FB.loop(TripCountSpec::constant(1'000'000), [&] { FB.code(8); });
+    });
+    diffHandBuilt(PB.take(), 6, "tape larger than the budget");
   }
 }

@@ -34,6 +34,7 @@
 #include "support/Table.h"
 #include "support/Trace.h"
 #include "vm/Bytecode.h"
+#include "vm/Fusion.h"
 #include "workloads/Workloads.h"
 
 #include <memory>
@@ -72,8 +73,12 @@ int usage() {
       "  spm_tool dot <workload> [--input train|ref]\n"
       "common: --jobs N parallelizes independent runs (0 = all cores;\n"
       "        SPM_JOBS is the environment fallback)\n"
-      "        --engine tree|bytecode picks the execution tier (default\n"
-      "        tree); outputs are byte-identical across tiers\n"
+      "        --engine tree|bytecode|bytecode-fused picks the execution\n"
+      "        tier (default tree); outputs are byte-identical across\n"
+      "        tiers. bytecode runs the superop-fused module (the fastest\n"
+      "        tier); bytecode-fused is an explicit alias. --no-fuse runs\n"
+      "        the unfused bytecode module instead and is only meaningful\n"
+      "        with --engine=bytecode\n"
       "        --trace-out FILE enables spmtrace and writes a Chrome\n"
       "        trace_event JSON timeline (chrome://tracing / Perfetto)\n"
       "        --metrics-out FILE enables spmtrace and writes the metrics\n"
@@ -165,6 +170,7 @@ struct CommonArgs {
   std::string TraceOut;
   std::string MetricsOut;
   std::string Engine = "tree";
+  bool NoFuse = false;
   bool Bad = false;
 };
 
@@ -215,12 +221,15 @@ CommonArgs parseArgs(int Argc, char **Argv, int Start) {
     } else if (valueOpt(Arg, "--metrics-out", I, Argc, Argv, V)) {
       A.MetricsOut = V;
     } else if (valueOpt(Arg, "--engine", I, Argc, Argv, V)) {
-      if (V != "tree" && V != "bytecode") {
-        std::fprintf(stderr, "unknown engine %s (tree|bytecode)\n",
+      if (V != "tree" && V != "bytecode" && V != "bytecode-fused") {
+        std::fprintf(stderr,
+                     "unknown engine %s (tree|bytecode|bytecode-fused)\n",
                      V.c_str());
         A.Bad = true;
       }
       A.Engine = V;
+    } else if (Arg == "--no-fuse") {
+      A.NoFuse = true;
     } else if (Arg == "--jobs" && I + 1 < Argc) {
       setParallelJobs(std::atoi(Argv[++I]));
     } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
@@ -230,17 +239,34 @@ CommonArgs parseArgs(int Argc, char **Argv, int Start) {
       A.Positional.push_back(Arg);
     }
   }
+  // --no-fuse only modifies the bytecode tier; combining it with a tier
+  // that has no fusion pass (tree) or one that demands fusion by name
+  // (bytecode-fused) is a contradiction, not a preference.
+  if (A.NoFuse && A.Engine == "tree") {
+    std::fprintf(stderr, "--no-fuse requires --engine=bytecode "
+                         "(the tree tier has no fusion pass)\n");
+    A.Bad = true;
+  } else if (A.NoFuse && A.Engine == "bytecode-fused") {
+    std::fprintf(stderr, "contradictory flags: --no-fuse with "
+                         "--engine=bytecode-fused\n");
+    A.Bad = true;
+  }
   return A;
 }
 
-/// Compiles \p Bin to bytecode when --engine=bytecode was given; returns
-/// null for the tree tier. Every driver takes the module as an optional
-/// pointer, so a null return selects the default path untouched.
+/// Compiles \p Bin to bytecode when a bytecode engine was selected;
+/// returns null for the tree tier. Every driver takes the module as an
+/// optional pointer, so a null return selects the default path untouched.
+/// The bytecode tier runs the superop-fused module unless --no-fuse asked
+/// for the plain one; both produce byte-identical event streams.
 std::unique_ptr<BytecodeModule> makeEngine(const CommonArgs &A,
                                            const Binary &Bin) {
-  if (A.Engine != "bytecode")
+  if (A.Engine != "bytecode" && A.Engine != "bytecode-fused")
     return nullptr;
-  return std::make_unique<BytecodeModule>(compileBytecode(Bin));
+  BytecodeModule M = compileBytecode(Bin);
+  if (!A.NoFuse)
+    M = fuseBytecode(Bin, std::move(M));
+  return std::make_unique<BytecodeModule>(std::move(M));
 }
 
 int cmdList() {
@@ -530,6 +556,13 @@ int cmdBenchProfile(const CommonArgs &A) {
       BytecodeModule Bc;
       timeReps(stageHist(Name, "bc_compile", "bytecode"),
                [&] { Bc = compileBytecode(*Bin); });
+      // Fused tier: the superop/tape overlay over the same module. The
+      // pass cost gets its own cell; the per-run module verification is
+      // memoized (first rep verifies, later reps hit the cached token),
+      // so dispatch cells below measure dispatch, not re-verification.
+      BytecodeModule Fused;
+      timeReps(stageHist(Name, "bc_fuse", "fused"),
+               [&] { Fused = fuseBytecode(*Bin, Bc); });
 
       timeReps(stageHist(Name, "interp", "legacy"), [&] {
         ExecutionObserver Nop;
@@ -545,6 +578,11 @@ int cmdBenchProfile(const CommonArgs &A) {
         NullSink S;
         Interpreter I(*Bin, In);
         I.runBytecode(Bc, S, Cap);
+      });
+      timeReps(stageHist(Name, "interp", "fused"), [&] {
+        NullSink S;
+        Interpreter I(*Bin, In);
+        I.runBytecode(Fused, S, Cap);
       });
 
       timeReps(stageHist(Name, "interp+tracker", "legacy"), [&] {
@@ -570,6 +608,13 @@ int cmdBenchProfile(const CommonArgs &A) {
         T.setProfileTarget(&PG);
         Interpreter I(*Bin, In);
         I.runBytecode(Bc, T, Cap);
+      });
+      timeReps(stageHist(Name, "interp+tracker", "fused"), [&] {
+        CallLoopGraph PG(*Bin, Loops);
+        CallLoopTracker T(*Bin, Loops, PG);
+        T.setProfileTarget(&PG);
+        Interpreter I(*Bin, In);
+        I.runBytecode(Fused, T, Cap);
       });
 
       timeReps(stageHist(Name, "tracker+markers+intervals", "legacy"), [&] {
@@ -614,6 +659,19 @@ int cmdBenchProfile(const CommonArgs &A) {
         Interpreter I(*Bin, In);
         I.runBytecode(Bc, Mux, Cap);
       });
+      timeReps(stageHist(Name, "tracker+markers+intervals", "fused"), [&] {
+        PerfModel Perf;
+        IntervalBuilder Ivb =
+            IntervalBuilder::markerDriven(&Perf, /*CollectBbv=*/false);
+        CallLoopTracker T(*Bin, Loops, *G);
+        MarkerRuntime RT(Sel.Markers, *G);
+        T.addListener(&RT);
+        RT.setCallback([&](int32_t Idx) { Ivb.requestCut(Idx); });
+        StaticMux<CallLoopTracker, IntervalBuilder, PerfModel> Mux(T, Ivb,
+                                                                   Perf);
+        Interpreter I(*Bin, In);
+        I.runBytecode(Fused, Mux, Cap);
+      });
 
       timeReps(stageHist(Name, "bbv", "legacy"), [&] {
         PerfModel Perf;
@@ -641,6 +699,14 @@ int cmdBenchProfile(const CommonArgs &A) {
         Interpreter I(*Bin, In);
         I.runBytecode(Bc, Mux, Cap);
       });
+      timeReps(stageHist(Name, "bbv", "fused"), [&] {
+        PerfModel Perf;
+        IntervalBuilder Ivb =
+            IntervalBuilder::fixedLength(100000, &Perf, /*CollectBbv=*/true);
+        StaticMux<IntervalBuilder, PerfModel> Mux(Ivb, Perf);
+        Interpreter I(*Bin, In);
+        I.runBytecode(Fused, Mux, Cap);
+      });
 
       timeReps(stageHist(Name, "cache", "legacy"), [&] {
         PerfModel Perf;
@@ -656,6 +722,11 @@ int cmdBenchProfile(const CommonArgs &A) {
         PerfModel Perf;
         Interpreter I(*Bin, In);
         I.runBytecode(Bc, Perf, Cap);
+      });
+      timeReps(stageHist(Name, "cache", "fused"), [&] {
+        PerfModel Perf;
+        Interpreter I(*Bin, In);
+        I.runBytecode(Fused, Perf, Cap);
       });
 
       timeReps(stageHist(Name, "shard", "base"), [&] {
@@ -709,8 +780,10 @@ int cmdBenchProfile(const CommonArgs &A) {
       .cell("legacy Mev/s")
       .cell("engine Mev/s")
       .cell("bytecode Mev/s")
+      .cell("fused Mev/s")
       .cell("eng/leg")
-      .cell("bc/eng");
+      .cell("bc/eng")
+      .cell("fz/eng");
   char Buf[384];
   std::string Json = "{\n  \"bench\": \"engine-profile\",\n";
   std::snprintf(Buf, sizeof(Buf),
@@ -726,6 +799,11 @@ int cmdBenchProfile(const CommonArgs &A) {
                   BcCompileSec);
     Json += Buf;
   }
+  double BcFuseSec = stageSeconds("bc_fuse", "fused");
+  if (BcFuseSec > 0.0) {
+    std::snprintf(Buf, sizeof(Buf), "  \"bc_fuse_s\": %.6f,\n", BcFuseSec);
+    Json += Buf;
+  }
   if (!StageError.empty())
     Json += "  \"aborted_at\": \"" + jsonEscape(StageError) + "\",\n";
   Json += "  \"workloads\": [";
@@ -739,6 +817,7 @@ int cmdBenchProfile(const CommonArgs &A) {
     double LegacySec = stageSeconds(StageNames[S], "legacy");
     double EngineSec = stageSeconds(StageNames[S], "engine");
     double BcSec = stageSeconds(StageNames[S], "bytecode");
+    double FzSec = stageSeconds(StageNames[S], "fused");
     // A stage the run never reached (exception upstream) has no registry
     // samples — leave it out rather than emit NaNs.
     if (!(LegacySec > 0.0) || !(EngineSec > 0.0))
@@ -747,16 +826,27 @@ int cmdBenchProfile(const CommonArgs &A) {
     double EngineEps = TotalEvents / EngineSec;
     double Speedup = LegacySec / EngineSec;
     bool HasBc = BcSec > 0.0;
+    bool HasFz = FzSec > 0.0;
     auto &Row = T.row().cell(StageNames[S]).cell(LegacyEps / 1e6, 1).cell(
         EngineEps / 1e6, 1);
     if (HasBc)
       Row.cell(TotalEvents / BcSec / 1e6, 1);
     else
       Row.cell("-");
+    if (HasFz)
+      Row.cell(TotalEvents / FzSec / 1e6, 1);
+    else
+      Row.cell("-");
     std::snprintf(Buf, sizeof(Buf), "%.2fx", Speedup);
     Row.cell(std::string(Buf));
     if (HasBc) {
       std::snprintf(Buf, sizeof(Buf), "%.2fx", EngineSec / BcSec);
+      Row.cell(std::string(Buf));
+    } else {
+      Row.cell("-");
+    }
+    if (HasFz) {
+      std::snprintf(Buf, sizeof(Buf), "%.2fx", EngineSec / FzSec);
       Row.cell(std::string(Buf));
     } else {
       Row.cell("-");
@@ -773,6 +863,15 @@ int cmdBenchProfile(const CommonArgs &A) {
                     ", \"bytecode_s\": %.6f, \"bytecode_eps\": %.0f, "
                     "\"bytecode_speedup\": %.3f",
                     BcSec, TotalEvents / BcSec, EngineSec / BcSec);
+      Json += Buf;
+    }
+    if (HasFz) {
+      // fused_speedup is fused vs the engine arm (runFast), the prior
+      // fastest tier — the headline the fusion pass is accountable for.
+      std::snprintf(Buf, sizeof(Buf),
+                    ", \"fused_s\": %.6f, \"fused_eps\": %.0f, "
+                    "\"fused_speedup\": %.3f",
+                    FzSec, TotalEvents / FzSec, EngineSec / FzSec);
       Json += Buf;
     }
     Json += "}";
