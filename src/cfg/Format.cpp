@@ -1,0 +1,746 @@
+//===- cfg/Format.cpp - spm-cfg parser and canonical dumper ---------------===//
+
+#include "cfg/Format.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace spm;
+using namespace spm::cfg;
+
+//===----------------------------------------------------------------------===//
+// Shared spec renderers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string fmtDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+std::string fmtU64(uint64_t V) { return std::to_string(V); }
+
+} // namespace
+
+std::string cfg::tripSpecText(const TripCountSpec &T) {
+  switch (T.K) {
+  case TripCountSpec::Kind::Constant:
+    return "const:" + fmtU64(T.Value);
+  case TripCountSpec::Kind::Uniform:
+    return "uniform:" + fmtU64(T.Lo) + ":" + fmtU64(T.Hi);
+  case TripCountSpec::Kind::Param:
+    return "param:" + T.ParamName + ":" + fmtU64(T.Num) + ":" + fmtU64(T.Den);
+  case TripCountSpec::Kind::ParamUniform:
+    return "paramuniform:" + T.ParamName + ":" + fmtU64(T.LoNum) + ":" +
+           fmtU64(T.HiNum) + ":" + fmtU64(T.Den);
+  case TripCountSpec::Kind::Schedule: {
+    std::string S = "schedule:";
+    for (size_t I = 0; I < T.Values.size(); ++I) {
+      if (I)
+        S += ',';
+      S += fmtU64(T.Values[I]);
+    }
+    return S;
+  }
+  }
+  return "const:1";
+}
+
+std::string cfg::condSpecText(const CondSpec &C) {
+  if (C.K == CondSpec::Kind::Bernoulli)
+    return "bernoulli:" + fmtDouble(C.P);
+  return "periodic:" + fmtU64(C.Period) + ":" + fmtU64(C.TrueCount);
+}
+
+std::string cfg::callSpecText(const std::vector<CallStmt::Candidate> &Cands,
+                              double Prob, bool RoundRobin) {
+  std::string S = fmtDouble(Prob);
+  S += ';';
+  S += RoundRobin ? '1' : '0';
+  S += ';';
+  for (size_t I = 0; I < Cands.size(); ++I) {
+    if (I)
+      S += ',';
+    S += fmtU64(Cands[I].Callee) + "*" + fmtU64(Cands[I].Weight);
+  }
+  return S;
+}
+
+std::string cfg::memSpecText(const MemAccessSpec &M) {
+  const char *Pat = "seq";
+  switch (M.Pat) {
+  case MemAccessSpec::Pattern::Sequential:
+    Pat = "seq";
+    break;
+  case MemAccessSpec::Pattern::Random:
+    Pat = "rand";
+    break;
+  case MemAccessSpec::Pattern::Point:
+    Pat = "point";
+    break;
+  case MemAccessSpec::Pattern::Chase:
+    Pat = "chase";
+    break;
+  }
+  std::string S = fmtU64(M.RegionIdx);
+  S += ';';
+  S += Pat;
+  S += ';';
+  S += M.IsStore ? "st" : "ld";
+  S += ';';
+  S += fmtU64(M.Count) + ";" + fmtU64(M.Stride) + ";" + fmtU64(M.Offset) +
+       ";" + fmtU64(M.WorkingSetFrac256);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Line-by-line recursive-descent-free parser. All diagnostics are named:
+/// `cfg[<slug>]: detail (line N)`. Validation that needs the whole file
+/// (entry resolution, edge endpoints, call-candidate ids, mem region
+/// indices) runs at EOF so sections are order-free — the fuzz generator
+/// shuffles block and edge lines on purpose.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string *Err) : Text(Text), Err(Err) {}
+
+  std::optional<CfgProgram> run() {
+    std::istringstream In(Text);
+    std::string Line;
+    bool SawHeader = false;
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      std::vector<std::string> Tok = tokenize(Line);
+      if (Tok.empty())
+        continue;
+      if (!SawHeader) {
+        if (Tok.size() != 2 || Tok[0] != "spm-cfg" || Tok[1] != "v1")
+          return fail("bad-header", "expected `spm-cfg v1`");
+        SawHeader = true;
+        continue;
+      }
+      if (!directive(Tok))
+        return std::nullopt;
+    }
+    if (!SawHeader)
+      return fail("bad-header", "empty input, expected `spm-cfg v1`");
+    if (!finish())
+      return std::nullopt;
+    return std::move(P);
+  }
+
+private:
+  static std::vector<std::string> tokenize(const std::string &Line) {
+    std::vector<std::string> Tok;
+    std::istringstream S(Line);
+    std::string T;
+    while (S >> T) {
+      if (T[0] == '#')
+        break; // Comment to end of line.
+      Tok.push_back(T);
+    }
+    return Tok;
+  }
+
+  std::nullopt_t fail(const char *Slug, const std::string &Detail) {
+    if (Err) {
+      *Err = "cfg[";
+      *Err += Slug;
+      *Err += "]: " + Detail + " (line " + std::to_string(LineNo) + ")";
+    }
+    return std::nullopt;
+  }
+  bool failB(const char *Slug, const std::string &Detail) {
+    fail(Slug, Detail);
+    return false;
+  }
+
+  bool parseU64(const std::string &S, uint64_t &V, const char *What) {
+    if (S.empty() || S[0] == '-' || S[0] == '+')
+      return failB("bad-number", std::string(What) + ": `" + S + "`");
+    errno = 0;
+    char *End = nullptr;
+    unsigned long long R = std::strtoull(S.c_str(), &End, 10);
+    if (errno != 0 || End != S.c_str() + S.size())
+      return failB("bad-number", std::string(What) + ": `" + S + "`");
+    V = R;
+    return true;
+  }
+  bool parseU32(const std::string &S, uint32_t &V, const char *What) {
+    uint64_t W = 0;
+    if (!parseU64(S, W, What))
+      return false;
+    if (W > UINT32_MAX)
+      return failB("bad-number", std::string(What) + " out of range: `" + S +
+                                     "`");
+    V = static_cast<uint32_t>(W);
+    return true;
+  }
+  bool parseF64(const std::string &S, double &V, const char *What) {
+    if (S.empty())
+      return failB("bad-number", std::string(What) + ": empty");
+    errno = 0;
+    char *End = nullptr;
+    double R = std::strtod(S.c_str(), &End);
+    if (errno != 0 || End != S.c_str() + S.size())
+      return failB("bad-number", std::string(What) + ": `" + S + "`");
+    V = R;
+    return true;
+  }
+
+  static std::vector<std::string> split(const std::string &S, char Sep) {
+    std::vector<std::string> Out;
+    size_t Pos = 0;
+    while (true) {
+      size_t Next = S.find(Sep, Pos);
+      if (Next == std::string::npos) {
+        Out.push_back(S.substr(Pos));
+        return Out;
+      }
+      Out.push_back(S.substr(Pos, Next - Pos));
+      Pos = Next + 1;
+    }
+  }
+
+  bool directive(const std::vector<std::string> &Tok) {
+    const std::string &D = Tok[0];
+    if (D == "program")
+      return dirProgram(Tok);
+    if (D == "region")
+      return dirRegion(Tok);
+    if (D == "func")
+      return dirFunc(Tok);
+    if (D == "entry")
+      return dirEntry(Tok);
+    if (D == "block")
+      return dirBlock(Tok);
+    if (D == "edge")
+      return dirEdge(Tok);
+    return failB("unknown-directive", "`" + D + "`");
+  }
+
+  bool dirProgram(const std::vector<std::string> &Tok) {
+    if (Tok.size() != 2)
+      return failB("truncated", "program line needs exactly one name");
+    if (SawProgram)
+      return failB("bad-header", "duplicate program line");
+    SawProgram = true;
+    P.Name = Tok[1];
+    return true;
+  }
+
+  bool dirRegion(const std::vector<std::string> &Tok) {
+    if (Tok.size() < 3)
+      return failB("truncated", "region line needs a name and a kind");
+    MemRegionSpec R;
+    R.Name = Tok[1];
+    if (Tok[2] == "fixed") {
+      if (Tok.size() != 4)
+        return failB("truncated", "region ... fixed needs a byte count");
+      if (!parseU64(Tok[3], R.FixedSize, "region size"))
+        return false;
+    } else if (Tok[2] == "param") {
+      if (Tok.size() != 5)
+        return failB("truncated",
+                     "region ... param needs a parameter name and scale");
+      R.SizeParam = Tok[3];
+      if (!parseU64(Tok[4], R.SizeScale, "region scale"))
+        return false;
+    } else {
+      return failB("bad-annotation",
+                   "region kind must be fixed|param, got `" + Tok[2] + "`");
+    }
+    P.Regions.push_back(std::move(R));
+    return true;
+  }
+
+  bool dirFunc(const std::vector<std::string> &Tok) {
+    if (Tok.size() != 3)
+      return failB("truncated", "func line needs an id and a name");
+    uint32_t Id = 0;
+    if (!parseU32(Tok[1], Id, "func id"))
+      return false;
+    if (Id != P.Funcs.size())
+      return failB("bad-function-id",
+                   "func ids must equal declaration order; expected " +
+                       std::to_string(P.Funcs.size()) + ", got " + Tok[1]);
+    CfgFunctionDef F;
+    F.Id = Id;
+    F.Name = Tok[2];
+    P.Funcs.push_back(std::move(F));
+    Edges.emplace_back();
+    Cur = static_cast<int32_t>(P.Funcs.size()) - 1;
+    return true;
+  }
+
+  bool dirEntry(const std::vector<std::string> &Tok) {
+    if (Cur < 0)
+      return failB("missing-function", "entry line before any func");
+    if (Tok.size() != 2)
+      return failB("truncated", "entry line needs exactly one block id");
+    if (P.Funcs[Cur].Entry >= 0)
+      return failB("bad-entry", "duplicate entry line for func " +
+                                    std::to_string(Cur));
+    uint32_t Id = 0;
+    if (!parseU32(Tok[1], Id, "entry block id"))
+      return false;
+    P.Funcs[Cur].Entry = Id;
+    return true;
+  }
+
+  bool dirBlock(const std::vector<std::string> &Tok) {
+    if (Cur < 0)
+      return failB("missing-function", "block line before any func");
+    if (Tok.size() < 2)
+      return failB("truncated", "block line needs an id");
+    CfgBlockDef B;
+    B.Line = LineNo;
+    if (!parseU32(Tok[1], B.Id, "block id"))
+      return false;
+    if (!SeenBlocks.insert(B.Id).second)
+      return failB("duplicate-block", "block id " + Tok[1] +
+                                          " declared twice");
+    for (size_t I = 2; I < Tok.size(); ++I)
+      if (!annotation(Tok[I], B))
+        return false;
+    P.Funcs[Cur].Blocks.push_back(std::move(B));
+    return true;
+  }
+
+  bool annotation(const std::string &T, CfgBlockDef &B) {
+    size_t Eq = T.find('=');
+    if (Eq == std::string::npos || Eq == 0)
+      return failB("bad-annotation", "expected key=value, got `" + T + "`");
+    std::string Key = T.substr(0, Eq);
+    std::string Val = T.substr(Eq + 1);
+    if (Key == "int") {
+      if (B.HasInt)
+        return failB("bad-annotation", "duplicate int=");
+      B.HasInt = true;
+      return parseU32(Val, B.IntOps, "int ops");
+    }
+    if (Key == "fp") {
+      if (B.HasFp)
+        return failB("bad-annotation", "duplicate fp=");
+      B.HasFp = true;
+      return parseU32(Val, B.FpOps, "fp ops");
+    }
+    if (Key == "stmt") {
+      if (B.HasStmt)
+        return failB("bad-annotation", "duplicate stmt=");
+      B.HasStmt = true;
+      return parseU32(Val, B.StmtId, "stmt id");
+    }
+    if (Key == "trip") {
+      if (B.HasTrip)
+        return failB("bad-annotation", "duplicate trip=");
+      B.HasTrip = true;
+      return tripSpec(Val, B.Trip);
+    }
+    if (Key == "cond") {
+      if (B.HasCond)
+        return failB("bad-annotation", "duplicate cond=");
+      B.HasCond = true;
+      return condSpec(Val, B.Cond);
+    }
+    if (Key == "call") {
+      if (B.HasCall)
+        return failB("bad-annotation", "duplicate call=");
+      B.HasCall = true;
+      return callSpec(Val, B);
+    }
+    if (Key == "mem") {
+      MemAccessSpec M;
+      if (!memSpec(Val, M))
+        return false;
+      B.MemOps.push_back(M);
+      return true;
+    }
+    return failB("bad-annotation", "unknown annotation key `" + Key + "`");
+  }
+
+  bool tripSpec(const std::string &V, TripCountSpec &T) {
+    std::vector<std::string> F = split(V, ':');
+    if (F[0] == "const" && F.size() == 2) {
+      uint64_t X = 0;
+      if (!parseU64(F[1], X, "trip const"))
+        return false;
+      T = TripCountSpec::constant(X);
+      return true;
+    }
+    if (F[0] == "uniform" && F.size() == 3) {
+      uint64_t Lo = 0, Hi = 0;
+      if (!parseU64(F[1], Lo, "trip lo") || !parseU64(F[2], Hi, "trip hi"))
+        return false;
+      if (Lo > Hi)
+        return failB("bad-annotation", "trip uniform lo > hi");
+      T = TripCountSpec::uniform(Lo, Hi);
+      return true;
+    }
+    if (F[0] == "param" && F.size() == 4) {
+      uint64_t Num = 0, Den = 0;
+      if (!parseU64(F[2], Num, "trip num") || !parseU64(F[3], Den, "trip den"))
+        return false;
+      if (Den == 0)
+        return failB("bad-annotation", "trip param denominator is zero");
+      T = TripCountSpec::param(F[1], Num, Den);
+      return true;
+    }
+    if (F[0] == "paramuniform" && F.size() == 5) {
+      uint64_t Lo = 0, Hi = 0, Den = 0;
+      if (!parseU64(F[2], Lo, "trip lonum") ||
+          !parseU64(F[3], Hi, "trip hinum") || !parseU64(F[4], Den, "trip den"))
+        return false;
+      if (Den == 0 || Lo > Hi)
+        return failB("bad-annotation", "bad paramuniform trip bounds");
+      T = TripCountSpec::paramUniform(F[1], Lo, Hi, Den);
+      return true;
+    }
+    if (F[0] == "schedule" && F.size() == 2) {
+      std::vector<uint64_t> Vals;
+      for (const std::string &S : split(F[1], ',')) {
+        uint64_t X = 0;
+        if (!parseU64(S, X, "trip schedule value"))
+          return false;
+        Vals.push_back(X);
+      }
+      if (Vals.empty())
+        return failB("bad-annotation", "empty trip schedule");
+      T = TripCountSpec::schedule(std::move(Vals));
+      return true;
+    }
+    return failB("bad-annotation", "bad trip spec `" + V + "`");
+  }
+
+  bool condSpec(const std::string &V, CondSpec &C) {
+    std::vector<std::string> F = split(V, ':');
+    if (F[0] == "bernoulli" && F.size() == 2) {
+      double Pr = 0;
+      if (!parseF64(F[1], Pr, "cond probability"))
+        return false;
+      C = CondSpec::bernoulli(Pr);
+      return true;
+    }
+    if (F[0] == "periodic" && F.size() == 3) {
+      uint64_t Period = 0, TrueCount = 0;
+      if (!parseU64(F[1], Period, "cond period") ||
+          !parseU64(F[2], TrueCount, "cond true-count"))
+        return false;
+      if (Period == 0 || TrueCount > Period)
+        return failB("bad-annotation",
+                     "periodic cond needs period > 0 and true-count <= period");
+      C = CondSpec::periodic(Period, TrueCount);
+      return true;
+    }
+    return failB("bad-annotation", "bad cond spec `" + V + "`");
+  }
+
+  bool callSpec(const std::string &V, CfgBlockDef &B) {
+    std::vector<std::string> F = split(V, ';');
+    if (F.size() != 3)
+      return failB("bad-annotation",
+                   "call spec needs prob;rr;candidates, got `" + V + "`");
+    if (!parseF64(F[0], B.CallProb, "call probability"))
+      return false;
+    if (F[1] == "0")
+      B.RoundRobin = false;
+    else if (F[1] == "1")
+      B.RoundRobin = true;
+    else
+      return failB("bad-annotation", "call rr flag must be 0|1");
+    for (const std::string &CandTxt : split(F[2], ',')) {
+      size_t Star = CandTxt.find('*');
+      if (Star == std::string::npos)
+        return failB("bad-annotation",
+                     "call candidate needs callee*weight, got `" + CandTxt +
+                         "`");
+      CallStmt::Candidate C;
+      if (!parseU32(CandTxt.substr(0, Star), C.Callee, "call callee") ||
+          !parseU32(CandTxt.substr(Star + 1), C.Weight, "call weight"))
+        return false;
+      B.Candidates.push_back(C);
+    }
+    if (B.Candidates.empty())
+      return failB("bad-annotation", "call spec with no candidates");
+    return true;
+  }
+
+  bool memSpec(const std::string &V, MemAccessSpec &M) {
+    std::vector<std::string> F = split(V, ';');
+    if (F.size() != 7)
+      return failB("bad-annotation",
+                   "mem spec needs region;pat;op;count;stride;offset;frac, "
+                   "got `" +
+                       V + "`");
+    if (!parseU32(F[0], M.RegionIdx, "mem region"))
+      return false;
+    if (F[1] == "seq")
+      M.Pat = MemAccessSpec::Pattern::Sequential;
+    else if (F[1] == "rand")
+      M.Pat = MemAccessSpec::Pattern::Random;
+    else if (F[1] == "point")
+      M.Pat = MemAccessSpec::Pattern::Point;
+    else if (F[1] == "chase")
+      M.Pat = MemAccessSpec::Pattern::Chase;
+    else
+      return failB("bad-annotation", "mem pattern must be seq|rand|point|chase");
+    if (F[2] == "ld")
+      M.IsStore = false;
+    else if (F[2] == "st")
+      M.IsStore = true;
+    else
+      return failB("bad-annotation", "mem op must be ld|st");
+    if (!parseU32(F[3], M.Count, "mem count") ||
+        !parseU64(F[4], M.Stride, "mem stride") ||
+        !parseU64(F[5], M.Offset, "mem offset") ||
+        !parseU32(F[6], M.WorkingSetFrac256, "mem working-set fraction"))
+      return false;
+    if (M.WorkingSetFrac256 == 0 || M.WorkingSetFrac256 > 256)
+      return failB("bad-annotation",
+                   "mem working-set fraction must be in [1, 256]");
+    return true;
+  }
+
+  bool dirEdge(const std::vector<std::string> &Tok) {
+    if (Cur < 0)
+      return failB("missing-function", "edge line before any func");
+    if (Tok.size() != 3)
+      return failB("truncated", "edge line needs exactly two block ids");
+    PendingEdge E;
+    E.Line = LineNo;
+    if (!parseU32(Tok[1], E.From, "edge source") ||
+        !parseU32(Tok[2], E.To, "edge target"))
+      return false;
+    Edges[Cur].push_back(E);
+    return true;
+  }
+
+  bool finish() {
+    if (!SawProgram)
+      return failB("truncated", "missing program line");
+    if (P.Funcs.empty())
+      return failB("missing-function", "no func sections");
+    for (size_t FI = 0; FI < P.Funcs.size(); ++FI) {
+      CfgFunctionDef &F = P.Funcs[FI];
+      LineNo = 0; // EOF diagnostics carry no useful line.
+      if (F.Blocks.empty())
+        return failB("truncated", "func " + F.Name + " has no blocks");
+      if (F.Entry < 0)
+        return failB("bad-entry", "func " + F.Name + " has no entry line");
+      if (F.indexOf(static_cast<uint32_t>(F.Entry)) < 0)
+        return failB("bad-entry", "func " + F.Name + " entry " +
+                                      std::to_string(F.Entry) +
+                                      " is not a declared block");
+      for (const PendingEdge &E : Edges[FI]) {
+        LineNo = E.Line;
+        int32_t From = F.indexOf(E.From);
+        if (From < 0)
+          return failB("dangling-edge", "edge source " + std::to_string(E.From) +
+                                            " is not a block of func " +
+                                            F.Name);
+        if (F.indexOf(E.To) < 0)
+          return failB("dangling-edge", "edge target " + std::to_string(E.To) +
+                                            " is not a block of func " +
+                                            F.Name);
+        F.Blocks[From].Succs.push_back(E.To);
+      }
+      // Call candidates may reference any function, including later ones.
+      for (const CfgBlockDef &B : F.Blocks) {
+        LineNo = B.Line;
+        for (const CallStmt::Candidate &C : B.Candidates)
+          if (C.Callee >= P.Funcs.size())
+            return failB("bad-callee", "call candidate " +
+                                           std::to_string(C.Callee) +
+                                           " is not a declared function");
+        for (const MemAccessSpec &M : B.MemOps)
+          if (M.RegionIdx >= P.Regions.size())
+            return failB("bad-annotation",
+                         "mem region index " + std::to_string(M.RegionIdx) +
+                             " out of range");
+      }
+    }
+    return true;
+  }
+
+  struct PendingEdge {
+    uint32_t From = 0, To = 0;
+    uint32_t Line = 0;
+  };
+
+  const std::string &Text;
+  std::string *Err;
+  uint32_t LineNo = 0;
+  CfgProgram P;
+  bool SawProgram = false;
+  int32_t Cur = -1;
+  std::vector<std::vector<PendingEdge>> Edges;
+  std::unordered_set<uint32_t> SeenBlocks;
+};
+
+} // namespace
+
+std::optional<CfgProgram> cfg::parseCfg(const std::string &Text,
+                                        std::string *Err) {
+  return Parser(Text, Err).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical dumper
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Emits the edge list by walking the executable tree: every node knows its
+/// continuation block, so the raw graph falls out without inspecting
+/// terminator addresses. Then-edges print before else-edges and loop body
+/// edges before loop exit edges — the order the importer's structurer
+/// requires on two-successor blocks.
+class EdgeWriter {
+public:
+  EdgeWriter(std::string &Out) : Out(Out) {}
+
+  void function(const LoweredFunction &F) {
+    seq(F.Body, F.Body.empty() ? F.ExitBlock : first(F.Body.front()),
+        F.ExitBlock, /*EmitHead=*/true, F.EntryBlock);
+  }
+
+private:
+  static uint32_t first(const ExecNode &N) { return N.Block; }
+
+  void edge(uint32_t From, uint32_t To) {
+    Out += "edge " + std::to_string(From) + " " + std::to_string(To) + "\n";
+  }
+
+  /// Emits \p Head -> first(\p Nodes) when EmitHead, then each node with its
+  /// successor's first block (or \p Cont for the last) as continuation.
+  void seq(const std::vector<ExecNode> &Nodes, uint32_t FirstBlock,
+           uint32_t Cont, bool EmitHead, uint32_t Head) {
+    if (EmitHead)
+      edge(Head, Nodes.empty() ? Cont : FirstBlock);
+    for (size_t I = 0; I < Nodes.size(); ++I) {
+      uint32_t Next = I + 1 < Nodes.size() ? first(Nodes[I + 1]) : Cont;
+      node(Nodes[I], Next);
+    }
+  }
+  void seq(const std::vector<ExecNode> &Nodes, uint32_t Cont) {
+    seq(Nodes, 0, Cont, /*EmitHead=*/false, 0);
+  }
+
+  void node(const ExecNode &N, uint32_t Cont) {
+    switch (N.K) {
+    case ExecNode::Kind::Code:
+    case ExecNode::Kind::Call:
+      edge(N.Block, Cont);
+      break;
+    case ExecNode::Kind::Loop: {
+      uint32_t BodyFirst =
+          N.Children.empty() ? N.LatchBlock : first(N.Children.front());
+      edge(N.Block, BodyFirst); // In-loop edge first.
+      edge(N.Block, Cont);      // Loop exit.
+      seq(N.Children, N.LatchBlock);
+      edge(N.LatchBlock, N.Block); // Back edge.
+      break;
+    }
+    case ExecNode::Kind::If: {
+      uint32_t ThenFirst =
+          N.Children.empty() ? Cont : first(N.Children.front());
+      uint32_t ElseFirst =
+          N.ElseChildren.empty() ? Cont : first(N.ElseChildren.front());
+      edge(N.Block, ThenFirst); // Then-edge first: edge order is semantic.
+      edge(N.Block, ElseFirst);
+      seq(N.Children, Cont);
+      seq(N.ElseChildren, Cont);
+      break;
+    }
+    }
+  }
+
+  std::string &Out;
+};
+
+/// Collects the structural node owning each header/cond/call block, since
+/// blocks carry only mixes and the spec annotations live on the tree.
+void collectNodes(const std::vector<ExecNode> &Nodes,
+                  std::unordered_map<uint32_t, const ExecNode *> &ByBlock) {
+  for (const ExecNode &N : Nodes) {
+    ByBlock[N.Block] = &N;
+    collectNodes(N.Children, ByBlock);
+    collectNodes(N.ElseChildren, ByBlock);
+  }
+}
+
+} // namespace
+
+std::string cfg::dumpCfg(const Binary &B) {
+  std::string Out = "spm-cfg v1\n";
+  Out += "program " + B.SourceName + "\n";
+  for (const MemRegionSpec &R : B.Regions) {
+    if (R.SizeParam.empty())
+      Out += "region " + R.Name + " fixed " + fmtU64(R.FixedSize) + "\n";
+    else
+      Out += "region " + R.Name + " param " + R.SizeParam + " " +
+             fmtU64(R.SizeScale) + "\n";
+  }
+  for (const LoweredFunction &F : B.Funcs) {
+    Out += "func " + std::to_string(F.Id) + " " + F.Name + "\n";
+    Out += "entry " + std::to_string(F.EntryBlock) + "\n";
+    std::unordered_map<uint32_t, const ExecNode *> ByBlock;
+    collectNodes(F.Body, ByBlock);
+    for (const LoweredBlock &Blk : B.Blocks) {
+      if (Blk.FuncId != F.Id)
+        continue;
+      Out += "block " + std::to_string(Blk.GlobalId);
+      switch (Blk.Role) {
+      case BlockRole::Entry:
+        Out += " int=" + std::to_string(Blk.Mix[OpClass::IntALU]);
+        break;
+      case BlockRole::Straight: {
+        Out += " int=" + std::to_string(Blk.Mix[OpClass::IntALU]);
+        if (Blk.Mix[OpClass::FpALU])
+          Out += " fp=" + std::to_string(Blk.Mix[OpClass::FpALU]);
+        for (const MemAccessSpec &M : Blk.MemOps)
+          Out += " mem=" + memSpecText(M);
+        Out += " stmt=" + std::to_string(Blk.SrcStmtId);
+        break;
+      }
+      case BlockRole::LoopHeader: {
+        const ExecNode *N = ByBlock.at(Blk.GlobalId);
+        Out += " int=" + std::to_string(Blk.Mix[OpClass::IntALU]);
+        Out += " trip=" + tripSpecText(N->Trip);
+        Out += " stmt=" + std::to_string(Blk.SrcStmtId);
+        break;
+      }
+      case BlockRole::CondHead: {
+        const ExecNode *N = ByBlock.at(Blk.GlobalId);
+        Out += " cond=" + condSpecText(N->Cond);
+        Out += " stmt=" + std::to_string(Blk.SrcStmtId);
+        break;
+      }
+      case BlockRole::CallSite: {
+        const ExecNode *N = ByBlock.at(Blk.GlobalId);
+        Out += " call=" + callSpecText(N->Candidates, N->CallProb,
+                                       N->RoundRobin);
+        Out += " stmt=" + std::to_string(Blk.SrcStmtId);
+        break;
+      }
+      case BlockRole::LoopLatch:
+      case BlockRole::Exit:
+        break; // Fixed mixes; nothing to record.
+      }
+      Out += "\n";
+    }
+    EdgeWriter(Out).function(F);
+  }
+  return Out;
+}

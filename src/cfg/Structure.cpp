@@ -1,0 +1,233 @@
+//===- cfg/Structure.cpp - Dominators, loops, reducibility ----------------===//
+
+#include "cfg/Structure.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace spm;
+using namespace spm::cfg;
+
+void FlowGraph::computePreds() {
+  Preds.assign(Succs.size(), {});
+  for (uint32_t N = 0; N < size(); ++N)
+    for (uint32_t S : Succs[N])
+      Preds[S].push_back(N);
+}
+
+std::vector<bool> FlowGraph::reachable() const {
+  std::vector<bool> Seen(size(), false);
+  std::vector<uint32_t> Work{Entry};
+  Seen[Entry] = true;
+  while (!Work.empty()) {
+    uint32_t N = Work.back();
+    Work.pop_back();
+    for (uint32_t S : Succs[N])
+      if (!Seen[S]) {
+        Seen[S] = true;
+        Work.push_back(S);
+      }
+  }
+  return Seen;
+}
+
+namespace {
+
+/// Iterative postorder over Succs from Entry; reversed gives RPO.
+std::vector<uint32_t> postorder(const FlowGraph &G) {
+  std::vector<uint32_t> Order;
+  std::vector<uint8_t> State(G.size(), 0); // 0 unseen, 1 open, 2 done.
+  // Explicit stack of (node, next-successor-index).
+  std::vector<std::pair<uint32_t, uint32_t>> Stack;
+  Stack.emplace_back(G.Entry, 0);
+  State[G.Entry] = 1;
+  while (!Stack.empty()) {
+    auto &[N, I] = Stack.back();
+    if (I < G.Succs[N].size()) {
+      uint32_t S = G.Succs[N][I++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.emplace_back(S, 0);
+      }
+    } else {
+      State[N] = 2;
+      Order.push_back(N);
+      Stack.pop_back();
+    }
+  }
+  return Order;
+}
+
+} // namespace
+
+DomTree cfg::computeDominators(const FlowGraph &G) {
+  DomTree D;
+  D.Idom.assign(G.size(), -1);
+  D.RpoNum.assign(G.size(), ~0u);
+
+  std::vector<uint32_t> Post = postorder(G);
+  std::vector<uint32_t> Rpo(Post.rbegin(), Post.rend());
+  for (uint32_t I = 0; I < Rpo.size(); ++I)
+    D.RpoNum[Rpo[I]] = I;
+
+  auto Intersect = [&](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (D.RpoNum[A] > D.RpoNum[B])
+        A = static_cast<uint32_t>(D.Idom[A]);
+      while (D.RpoNum[B] > D.RpoNum[A])
+        B = static_cast<uint32_t>(D.Idom[B]);
+    }
+    return A;
+  };
+
+  D.Idom[G.Entry] = static_cast<int32_t>(G.Entry);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t N : Rpo) {
+      if (N == G.Entry)
+        continue;
+      int32_t New = -1;
+      for (uint32_t P : G.Preds[N]) {
+        if (D.RpoNum[P] == ~0u || D.Idom[P] < 0)
+          continue; // Unreachable or not yet processed.
+        New = New < 0 ? static_cast<int32_t>(P)
+                      : static_cast<int32_t>(
+                            Intersect(static_cast<uint32_t>(New), P));
+      }
+      if (New >= 0 && New != D.Idom[N]) {
+        D.Idom[N] = New;
+        Changed = true;
+      }
+    }
+  }
+  return D;
+}
+
+bool cfg::findNaturalLoops(const FlowGraph &G, const DomTree &D,
+                           std::vector<NaturalLoop> &Out,
+                           std::string *Detail) {
+  // Group back edges by header; a second latch for the same header is a
+  // shape the structured IR cannot express.
+  std::vector<int32_t> LatchOf(G.size(), -1);
+  std::vector<uint32_t> Headers;
+  for (uint32_t N = 0; N < G.size(); ++N) {
+    if (D.RpoNum[N] == ~0u)
+      continue;
+    for (uint32_t S : G.Succs[N]) {
+      if (!D.dominates(S, N))
+        continue;
+      if (LatchOf[S] >= 0 && LatchOf[S] != static_cast<int32_t>(N)) {
+        if (Detail)
+          *Detail = "loop header has two latches";
+        return false;
+      }
+      if (LatchOf[S] < 0)
+        Headers.push_back(S);
+      LatchOf[S] = static_cast<int32_t>(N);
+    }
+  }
+  std::sort(Headers.begin(), Headers.end(), [&](uint32_t A, uint32_t B) {
+    return D.RpoNum[A] < D.RpoNum[B];
+  });
+
+  Out.clear();
+  for (uint32_t H : Headers) {
+    NaturalLoop L;
+    L.Header = H;
+    L.Latch = static_cast<uint32_t>(LatchOf[H]);
+    L.InLoop.assign(G.size(), false);
+    L.InLoop[H] = true;
+    std::vector<uint32_t> Work;
+    if (!L.InLoop[L.Latch]) {
+      L.InLoop[L.Latch] = true;
+      Work.push_back(L.Latch);
+    }
+    while (!Work.empty()) {
+      uint32_t N = Work.back();
+      Work.pop_back();
+      for (uint32_t P : G.Preds[N])
+        if (!L.InLoop[P]) {
+          L.InLoop[P] = true;
+          Work.push_back(P);
+        }
+    }
+    Out.push_back(std::move(L));
+  }
+  return true;
+}
+
+bool cfg::reducible(const FlowGraph &G, std::vector<uint32_t> *Stuck) {
+  uint32_t N = G.size();
+  // Live supernodes with set-valued successor lists; Members tracks which
+  // original nodes each supernode has absorbed (for the diagnostic).
+  std::vector<bool> Live(N, false);
+  std::vector<std::set<uint32_t>> Succ(N);
+  std::vector<std::vector<uint32_t>> Members(N);
+  std::vector<bool> Reach = G.reachable();
+  for (uint32_t I = 0; I < N; ++I) {
+    if (!Reach[I])
+      continue;
+    Live[I] = true;
+    Members[I] = {I};
+    for (uint32_t S : G.Succs[I])
+      Succ[I].insert(S);
+  }
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // T1: delete self edges.
+    for (uint32_t I = 0; I < N; ++I)
+      if (Live[I] && Succ[I].erase(I))
+        Changed = true;
+    // T2: merge any node with exactly one distinct predecessor into it.
+    std::vector<int32_t> OnlyPred(N, -1); // -2 = multiple.
+    for (uint32_t I = 0; I < N; ++I) {
+      if (!Live[I])
+        continue;
+      for (uint32_t S : Succ[I]) {
+        if (OnlyPred[S] == -1)
+          OnlyPred[S] = static_cast<int32_t>(I);
+        else if (OnlyPred[S] != static_cast<int32_t>(I))
+          OnlyPred[S] = -2;
+      }
+    }
+    for (uint32_t I = 0; I < N; ++I) {
+      if (!Live[I] || I == G.Entry || OnlyPred[I] < 0)
+        continue;
+      uint32_t P = static_cast<uint32_t>(OnlyPred[I]);
+      // Merge I into P: P inherits I's successors and members.
+      Succ[P].erase(I);
+      for (uint32_t S : Succ[I])
+        if (S != I)
+          Succ[P].insert(S);
+      Members[P].insert(Members[P].end(), Members[I].begin(),
+                        Members[I].end());
+      Succ[I].clear();
+      Members[I].clear();
+      Live[I] = false;
+      // Redirect edges into I (only P had any; already erased). Self edge
+      // P->P created when I pointed back at P is removed by T1 next pass.
+      Changed = true;
+      break; // Restart: OnlyPred is stale after a merge.
+    }
+  }
+
+  uint32_t LiveCount = 0;
+  for (uint32_t I = 0; I < N; ++I)
+    LiveCount += Live[I];
+  if (LiveCount <= 1)
+    return true;
+  if (Stuck) {
+    Stuck->clear();
+    for (uint32_t I = 0; I < N; ++I) {
+      if (!Live[I] || I == G.Entry)
+        continue;
+      Stuck->insert(Stuck->end(), Members[I].begin(), Members[I].end());
+    }
+    std::sort(Stuck->begin(), Stuck->end());
+  }
+  return false;
+}

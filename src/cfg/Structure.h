@@ -1,0 +1,108 @@
+//===- cfg/Structure.h - Dominators, loops, reducibility --------*- C++ -*-===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graph-structure analyses over a single function's CFG, expressed on
+/// dense block indices so they work on parsed input and on node-split
+/// intermediate graphs alike:
+///
+///  - Dominator trees via the Cooper-Harvey-Kennedy iterative algorithm
+///    ("A Simple, Fast Dominance Algorithm") over reverse postorder.
+///    Postdominators are the same computation on the reversed graph rooted
+///    at the exit block.
+///  - Back edges (tail dominated by head) and natural loops (backward
+///    reachability from the latch without passing the header), the same
+///    definition the paper's profiler applies to backward branches.
+///  - T1-T2 reducibility: repeatedly delete self edges (T1) and merge
+///    nodes with a single distinct predecessor into that predecessor (T2);
+///    the graph is reducible iff it collapses to a single node. When it
+///    does not, the surviving supernodes name the irreducible region for
+///    the `cfg[irreducible]` diagnostic and for node splitting
+///    (cfg/Import.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_CFG_STRUCTURE_H
+#define SPM_CFG_STRUCTURE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spm {
+namespace cfg {
+
+/// A function CFG over dense node indices [0, N). Successor order is
+/// preserved from the input (then-edge before else-edge); predecessor
+/// lists are derived.
+struct FlowGraph {
+  uint32_t Entry = 0;
+  std::vector<std::vector<uint32_t>> Succs;
+  std::vector<std::vector<uint32_t>> Preds;
+
+  uint32_t size() const { return static_cast<uint32_t>(Succs.size()); }
+
+  /// Builds predecessor lists from Succs (duplicate edges contribute
+  /// duplicate predecessor entries; analyses that need distinct
+  /// predecessors dedupe themselves).
+  void computePreds();
+
+  /// Nodes reachable from Entry along Succs.
+  std::vector<bool> reachable() const;
+};
+
+/// CHK dominator tree. Idom[Root] == Root; unreachable nodes get -1.
+struct DomTree {
+  std::vector<int32_t> Idom;
+  std::vector<uint32_t> RpoNum; ///< Reverse-postorder number (dense).
+
+  /// True when \p A dominates \p B (reflexive). Walks the idom chain;
+  /// fine for the small per-function graphs this subsystem sees.
+  bool dominates(uint32_t A, uint32_t B) const {
+    if (Idom[B] < 0)
+      return false;
+    while (true) {
+      if (B == A)
+        return true;
+      uint32_t Up = static_cast<uint32_t>(Idom[B]);
+      if (Up == B)
+        return false; // Reached the root.
+      B = Up;
+    }
+  }
+};
+
+/// Dominators of \p G rooted at G.Entry, following Succs. For
+/// postdominators, pass a FlowGraph with Succs/Preds swapped and
+/// Entry = exit block.
+DomTree computeDominators(const FlowGraph &G);
+
+/// One natural loop: all nodes that reach \p Latch without passing
+/// \p Header, plus the header itself.
+struct NaturalLoop {
+  uint32_t Header = 0;
+  uint32_t Latch = 0;
+  std::vector<bool> InLoop; ///< Indexed by dense node id.
+};
+
+/// Finds back edges (tail dominated by head) and their natural loops,
+/// ordered by header reverse-postorder number (outermost first for nested
+/// loops). Fails with a detail message when one header has several
+/// latches — the structured IR has no multi-latch shape, and the
+/// `cfg[loop-multiple-latches]` diagnostic is attached by the caller.
+bool findNaturalLoops(const FlowGraph &G, const DomTree &D,
+                      std::vector<NaturalLoop> &Out, std::string *Detail);
+
+/// T1-T2 reduction. Returns true when \p G collapses to a single node.
+/// Otherwise fills \p Stuck with the dense ids of all original nodes
+/// absorbed into surviving non-entry supernodes — the irreducible region.
+bool reducible(const FlowGraph &G, std::vector<uint32_t> *Stuck);
+
+} // namespace cfg
+} // namespace spm
+
+#endif // SPM_CFG_STRUCTURE_H

@@ -19,6 +19,7 @@
 
 #include "ir/SourceProgram.h"
 
+#include <algorithm>
 #include <functional>
 
 namespace spm {
@@ -53,6 +54,17 @@ public:
   callOneOf(std::vector<CallStmt::Candidate> Candidates,
             bool RoundRobin = false, double Prob = 1.0);
 
+  /// Forces the NEXT appended statement to use \p Id instead of the
+  /// program's running counter (which is bumped past \p Id so later
+  /// statements stay unique). The CFG importer uses this to preserve
+  /// `stmt=` annotations — statement ids are the cross-binary marker
+  /// mapping key, so a re-imported dump must keep them byte-identical.
+  FunctionBuilder &nextStmtId(uint32_t Id) {
+    Pending = Id;
+    HasPending = true;
+    return *this;
+  }
+
 private:
   friend class ProgramBuilder;
   FunctionBuilder(SourceProgram &P, SourceFunction &F) : P(P), F(F) {
@@ -65,6 +77,8 @@ private:
   SourceProgram &P;
   SourceFunction &F;
   std::vector<StmtList *> Stack;
+  uint32_t Pending = 0;
+  bool HasPending = false;
 };
 
 /// Builds a whole source program.
@@ -118,7 +132,13 @@ private:
 
 template <typename T> T *FunctionBuilder::append() {
   auto S = std::make_unique<T>();
-  S->setStmtId(P.takeStmtId());
+  if (HasPending) {
+    S->setStmtId(Pending);
+    HasPending = false;
+    P.NextStmtId = std::max(P.NextStmtId, Pending + 1);
+  } else {
+    S->setStmtId(P.takeStmtId());
+  }
   T *Raw = S.get();
   current().push_back(std::move(S));
   return Raw;
