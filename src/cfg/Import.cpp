@@ -4,6 +4,7 @@
 
 #include "cfg/Structure.h"
 #include "ir/Builder.h"
+#include "support/FailPoint.h"
 
 #include <algorithm>
 #include <cassert>
@@ -467,6 +468,7 @@ private:
 std::optional<ImportedProgram> cfg::importCfg(const CfgProgram &P,
                                               const ImportOptions &Opts,
                                               std::string *Err) {
+  SPM_FAILPOINT("cfg.import");
   ImportedProgram IP;
   ProgramBuilder PB(P.Name);
   for (const MemRegionSpec &R : P.Regions)

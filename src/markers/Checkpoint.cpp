@@ -1,10 +1,39 @@
 //===- markers/Checkpoint.cpp - Pipeline checkpoint (de)serialization -----==//
+//
+// The v2 wire format (docs/FORMATS.md). All integers little-endian:
+//
+//   magic "spmckpt\n" (8)
+//   u32 version = 2
+//   u64 seed
+//   section interp                [u64 len][payload][u32 crc32(payload)]
+//   u8 hasTracker, section if 1
+//   u8 hasInterval, section if 1
+//   u8 hasPerf, section if 1
+//   u8 hasMarkers, section if 1
+//   u32 crc32(everything above)   whole-file trailer
+//
+// The reader verifies the whole-file CRC immediately after magic/version,
+// before touching any length field: CRC-32 catches every burst error of 32
+// bits or fewer, so any single flipped byte anywhere past the header is
+// rejected with `ckpt[crc:file]` deterministically — the per-byte corruption
+// sweep in serialize_test pins this. Per-section CRCs then localize damage
+// for `spm_tool checkpoint verify`, and the strict section parsers keep
+// their structural checks (boolean flags, frame kinds, element-count sanity
+// caps) for adversarial inputs where the CRCs themselves were resealed.
+//
+//===----------------------------------------------------------------------===//
 
 #include "markers/Checkpoint.h"
 
 #include "support/Bytes.h"
+#include "support/Crc32.h"
+#include "support/FailPoint.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
 
 using namespace spm;
 
@@ -13,6 +42,11 @@ namespace {
 // 8-byte magic; the trailing newline makes accidental text-file confusion
 // fail on the first comparison.
 constexpr char Magic[8] = {'s', 'p', 'm', 'c', 'k', 'p', 't', '\n'};
+
+// Header (magic + version) plus the u32 file-CRC trailer: the smallest
+// frame any v2 file can have around its body.
+constexpr size_t HeaderSize = 12;
+constexpr size_t TrailerSize = 4;
 
 void putCounters(ByteWriter &W, const PerfCounters &C) {
   W.u64(C.Instrs);
@@ -65,20 +99,9 @@ bool getBool(ByteReader &R) {
   return V == 1;
 }
 
-} // namespace
+// --- Section payload writers (framing is the caller's job) ---------------
 
-std::string spm::serializeCheckpoint(const PipelineCheckpoint &C) {
-  SPM_TRACE_SPAN("ckpt.serialize");
-  std::optional<ScopedMetricTimer> Timer;
-  if (spmTraceEnabled())
-    Timer.emplace("ckpt.serialize_s");
-  ByteWriter W;
-  W.bytes(Magic, sizeof(Magic));
-  W.u32(PipelineCheckpoint::Version);
-  W.u64(C.Seed);
-
-  // Interpreter section.
-  const InterpCheckpoint &I = C.Interp;
+void putInterp(ByteWriter &W, const InterpCheckpoint &I) {
   W.u64(I.TotalInstrs);
   W.u64(I.TotalBlocks);
   W.u64(I.TotalMemAccesses);
@@ -102,90 +125,9 @@ std::string spm::serializeCheckpoint(const PipelineCheckpoint &C) {
     W.u8(F.Flag ? 1 : 0);
   }
   W.u8(I.Finished ? 1 : 0);
-
-  W.u8(C.HasTracker ? 1 : 0);
-  if (C.HasTracker) {
-    W.u64(C.Tracker.Stack.size());
-    for (const TrackerCheckpoint::FrameState &F : C.Tracker.Stack) {
-      W.u8(F.K);
-      W.u32(F.Node);
-      W.u32(F.EdgeFrom);
-      W.u64(F.Hier);
-      W.i32(F.LoopId);
-      W.u32(F.FuncId);
-    }
-    W.vecU32(C.Tracker.ActiveDepth);
-  }
-
-  W.u8(C.HasInterval ? 1 : 0);
-  if (C.HasInterval) {
-    const IntervalBuilderState &V = C.Interval;
-    W.u64(V.StartInstr);
-    W.u64(V.CurInstrs);
-    W.i32(V.CurPhase);
-    W.u8(V.PendingCut ? 1 : 0);
-    W.i32(V.PendingPhase);
-    putCounters(W, V.LastPerf);
-    W.u64(V.Partial.size());
-    for (const auto &[Id, Weight] : V.Partial) {
-      W.u32(Id);
-      W.f64(Weight);
-    }
-  }
-
-  W.u8(C.HasPerf ? 1 : 0);
-  if (C.HasPerf) {
-    const PerfModelState &P = C.Perf;
-    putCounters(W, P.C);
-    putCache(W, P.DL1);
-    W.u8(P.HasL2 ? 1 : 0);
-    if (P.HasL2)
-      putCache(W, P.L2);
-    W.vecU8(P.Bp.Counters);
-    W.u64(P.Bp.Branches);
-    W.u64(P.Bp.Mispredicts);
-  }
-
-  W.u8(C.HasMarkers ? 1 : 0);
-  if (C.HasMarkers) {
-    W.vecU64(C.Markers.GroupCounter);
-    W.u64(C.Markers.Fired);
-  }
-
-  std::string Out = W.take();
-  if (spmTraceEnabled()) {
-    metrics().counter("ckpt.serialized").forceAdd(1);
-    metrics().counter("ckpt.bytes_written").forceAdd(Out.size());
-  }
-  return Out;
 }
 
-std::optional<PipelineCheckpoint>
-spm::parseCheckpoint(const std::string &Data, std::string *Error) {
-  SPM_TRACE_SPAN("ckpt.parse");
-  std::optional<ScopedMetricTimer> Timer;
-  if (spmTraceEnabled()) {
-    Timer.emplace("ckpt.parse_s");
-    metrics().counter("ckpt.parsed").forceAdd(1);
-    metrics().counter("ckpt.bytes_read").forceAdd(Data.size());
-  }
-  auto Fail = [&](const std::string &Why) {
-    if (Error)
-      *Error = Why;
-    return std::nullopt;
-  };
-
-  ByteReader R(Data);
-  if (!R.expect(Magic, sizeof(Magic), "missing checkpoint magic"))
-    return Fail(R.error());
-  uint32_t Ver = R.u32();
-  if (R.ok() && Ver != PipelineCheckpoint::Version)
-    return Fail("unsupported checkpoint version " + std::to_string(Ver));
-
-  PipelineCheckpoint C;
-  C.Seed = R.u64();
-
-  InterpCheckpoint &I = C.Interp;
+void getInterp(ByteReader &R, InterpCheckpoint &I) {
   I.TotalInstrs = R.u64();
   I.TotalBlocks = R.u64();
   I.TotalMemAccesses = R.u64();
@@ -219,64 +161,316 @@ spm::parseCheckpoint(const std::string &Data, std::string *Error) {
     I.Frames.push_back(F);
   }
   I.Finished = getBool(R);
+}
 
-  C.HasTracker = getBool(R);
+void putTracker(ByteWriter &W, const TrackerCheckpoint &T) {
+  W.u64(T.Stack.size());
+  for (const TrackerCheckpoint::FrameState &F : T.Stack) {
+    W.u8(F.K);
+    W.u32(F.Node);
+    W.u32(F.EdgeFrom);
+    W.u64(F.Hier);
+    W.i32(F.LoopId);
+    W.u32(F.FuncId);
+  }
+  W.vecU32(T.ActiveDepth);
+}
+
+void getTracker(ByteReader &R, TrackerCheckpoint &T) {
+  uint64_t NStack = R.count();
+  T.Stack.reserve(R.ok() ? NStack : 0);
+  for (uint64_t N = 0; N < NStack && R.ok(); ++N) {
+    TrackerCheckpoint::FrameState F;
+    F.K = R.u8();
+    F.Node = R.u32();
+    F.EdgeFrom = R.u32();
+    F.Hier = R.u64();
+    F.LoopId = R.i32();
+    F.FuncId = R.u32();
+    T.Stack.push_back(F);
+  }
+  R.vecU32(T.ActiveDepth);
+}
+
+void putInterval(ByteWriter &W, const IntervalBuilderState &V) {
+  W.u64(V.StartInstr);
+  W.u64(V.CurInstrs);
+  W.i32(V.CurPhase);
+  W.u8(V.PendingCut ? 1 : 0);
+  W.i32(V.PendingPhase);
+  putCounters(W, V.LastPerf);
+  W.u64(V.Partial.size());
+  for (const auto &[Id, Weight] : V.Partial) {
+    W.u32(Id);
+    W.f64(Weight);
+  }
+}
+
+void getInterval(ByteReader &R, IntervalBuilderState &V) {
+  V.StartInstr = R.u64();
+  V.CurInstrs = R.u64();
+  V.CurPhase = R.i32();
+  V.PendingCut = getBool(R);
+  V.PendingPhase = R.i32();
+  V.LastPerf = getCounters(R);
+  uint64_t NPartial = R.count();
+  V.Partial.reserve(R.ok() ? NPartial : 0);
+  for (uint64_t N = 0; N < NPartial && R.ok(); ++N) {
+    uint32_t Id = R.u32();
+    double Weight = R.f64();
+    V.Partial.push_back({Id, Weight});
+  }
+}
+
+void putPerf(ByteWriter &W, const PerfModelState &P) {
+  putCounters(W, P.C);
+  putCache(W, P.DL1);
+  W.u8(P.HasL2 ? 1 : 0);
+  if (P.HasL2)
+    putCache(W, P.L2);
+  W.vecU8(P.Bp.Counters);
+  W.u64(P.Bp.Branches);
+  W.u64(P.Bp.Mispredicts);
+}
+
+void getPerf(ByteReader &R, PerfModelState &P) {
+  P.C = getCounters(R);
+  P.DL1 = getCache(R);
+  P.HasL2 = getBool(R);
+  if (P.HasL2)
+    P.L2 = getCache(R);
+  R.vecU8(P.Bp.Counters);
+  P.Bp.Branches = R.u64();
+  P.Bp.Mispredicts = R.u64();
+}
+
+void putMarkers(ByteWriter &W, const MarkerRuntimeState &M) {
+  W.vecU64(M.GroupCounter);
+  W.u64(M.Fired);
+}
+
+void getMarkers(ByteReader &R, MarkerRuntimeState &M) {
+  R.vecU64(M.GroupCounter);
+  M.Fired = R.u64();
+}
+
+/// Appends one framed section to \p Out: [u64 len][payload][u32 crc].
+void frameSection(ByteWriter &Out, std::string Payload) {
+  Out.u64(Payload.size());
+  uint32_t Crc = crc32(Payload.data(), Payload.size());
+  Out.bytes(Payload.data(), Payload.size());
+  Out.u32(Crc);
+}
+
+uint32_t leU32At(const std::string &D, size_t Pos) {
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<uint8_t>(D[Pos + I])) << (8 * I);
+  return V;
+}
+
+uint64_t leU64At(const std::string &D, size_t Pos) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<uint8_t>(D[Pos + I])) << (8 * I);
+  return V;
+}
+
+} // namespace
+
+std::string spm::serializeCheckpoint(const PipelineCheckpoint &C) {
+  SPM_TRACE_SPAN("ckpt.serialize");
+  SPM_FAILPOINT("ckpt.serialize");
+  std::optional<ScopedMetricTimer> Timer;
+  if (spmTraceEnabled())
+    Timer.emplace("ckpt.serialize_s");
+  ByteWriter W;
+  W.bytes(Magic, sizeof(Magic));
+  W.u32(PipelineCheckpoint::Version);
+  W.u64(C.Seed);
+
+  {
+    ByteWriter S;
+    putInterp(S, C.Interp);
+    frameSection(W, S.take());
+  }
+  W.u8(C.HasTracker ? 1 : 0);
   if (C.HasTracker) {
-    uint64_t NStack = R.count();
-    C.Tracker.Stack.reserve(R.ok() ? NStack : 0);
-    for (uint64_t N = 0; N < NStack && R.ok(); ++N) {
-      TrackerCheckpoint::FrameState F;
-      F.K = R.u8();
-      F.Node = R.u32();
-      F.EdgeFrom = R.u32();
-      F.Hier = R.u64();
-      F.LoopId = R.i32();
-      F.FuncId = R.u32();
-      C.Tracker.Stack.push_back(F);
-    }
-    R.vecU32(C.Tracker.ActiveDepth);
+    ByteWriter S;
+    putTracker(S, C.Tracker);
+    frameSection(W, S.take());
   }
-
-  C.HasInterval = getBool(R);
+  W.u8(C.HasInterval ? 1 : 0);
   if (C.HasInterval) {
-    IntervalBuilderState &V = C.Interval;
-    V.StartInstr = R.u64();
-    V.CurInstrs = R.u64();
-    V.CurPhase = R.i32();
-    V.PendingCut = getBool(R);
-    V.PendingPhase = R.i32();
-    V.LastPerf = getCounters(R);
-    uint64_t NPartial = R.count();
-    V.Partial.reserve(R.ok() ? NPartial : 0);
-    for (uint64_t N = 0; N < NPartial && R.ok(); ++N) {
-      uint32_t Id = R.u32();
-      double Weight = R.f64();
-      V.Partial.push_back({Id, Weight});
-    }
+    ByteWriter S;
+    putInterval(S, C.Interval);
+    frameSection(W, S.take());
   }
-
-  C.HasPerf = getBool(R);
+  W.u8(C.HasPerf ? 1 : 0);
   if (C.HasPerf) {
-    PerfModelState &P = C.Perf;
-    P.C = getCounters(R);
-    P.DL1 = getCache(R);
-    P.HasL2 = getBool(R);
-    if (P.HasL2)
-      P.L2 = getCache(R);
-    R.vecU8(P.Bp.Counters);
-    P.Bp.Branches = R.u64();
-    P.Bp.Mispredicts = R.u64();
+    ByteWriter S;
+    putPerf(S, C.Perf);
+    frameSection(W, S.take());
   }
-
-  C.HasMarkers = getBool(R);
+  W.u8(C.HasMarkers ? 1 : 0);
   if (C.HasMarkers) {
-    R.vecU64(C.Markers.GroupCounter);
-    C.Markers.Fired = R.u64();
+    ByteWriter S;
+    putMarkers(S, C.Markers);
+    frameSection(W, S.take());
   }
 
-  if (!R.ok())
-    return Fail(R.error());
-  if (!R.atEnd())
-    return Fail("trailing bytes after checkpoint");
+  // Whole-file trailer over everything written so far.
+  W.u32(crc32(W.str().data(), W.str().size()));
+
+  std::string Out = W.take();
+  if (spmTraceEnabled()) {
+    metrics().counter("ckpt.serialized").forceAdd(1);
+    metrics().counter("ckpt.bytes_written").forceAdd(Out.size());
+  }
+  return Out;
+}
+
+std::optional<PipelineCheckpoint>
+spm::parseCheckpoint(const std::string &Data, std::string *Error,
+                     std::vector<CheckpointSectionInfo> *Sections) {
+  SPM_TRACE_SPAN("ckpt.parse");
+  SPM_FAILPOINT("ckpt.read");
+  std::optional<ScopedMetricTimer> Timer;
+  if (spmTraceEnabled()) {
+    Timer.emplace("ckpt.parse_s");
+    metrics().counter("ckpt.parsed").forceAdd(1);
+    metrics().counter("ckpt.bytes_read").forceAdd(Data.size());
+  }
+  if (Sections)
+    *Sections = {{"interp", false, 0},
+                 {"tracker", false, 0},
+                 {"interval", false, 0},
+                 {"perf", false, 0},
+                 {"markers", false, 0}};
+  auto Fail = [&](const std::string &Slug,
+                  const std::string &Detail) -> std::optional<PipelineCheckpoint> {
+    if (Error)
+      *Error = "ckpt[" + Slug + "]: " + Detail;
+    return std::nullopt;
+  };
+  auto CrcFail = [&](const std::string &Slug, uint32_t Stored,
+                     uint32_t Computed) {
+    metrics().counter("ckpt.crc_failures").add(1);
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "stored 0x%08x != computed 0x%08x",
+                  Stored, Computed);
+    return Fail(Slug, Buf);
+  };
+
+  if (Data.size() < sizeof(Magic) ||
+      std::memcmp(Data.data(), Magic, sizeof(Magic)) != 0)
+    return Fail("magic", "missing checkpoint magic");
+  if (Data.size() < HeaderSize)
+    return Fail("truncated", "file ends inside the version field");
+  uint32_t Ver = leU32At(Data, sizeof(Magic));
+  if (Ver != PipelineCheckpoint::Version)
+    return Fail("version", "unsupported checkpoint version " +
+                               std::to_string(Ver));
+
+  // Whole-file integrity first, before trusting any length field: a single
+  // flipped bit anywhere past the header fails here, deterministically.
+  if (Data.size() < HeaderSize + TrailerSize)
+    return Fail("truncated", "file too short for its integrity trailer");
+  const size_t BodyEnd = Data.size() - TrailerSize;
+  uint32_t FileStored = leU32At(Data, BodyEnd);
+  uint32_t FileComputed = crc32(Data.data(), BodyEnd);
+  if (FileStored != FileComputed)
+    return CrcFail("crc:file", FileStored, FileComputed);
+
+  size_t Pos = HeaderSize;
+  auto Remaining = [&] { return BodyEnd - Pos; };
+
+  PipelineCheckpoint C;
+  if (Remaining() < 8)
+    return Fail("truncated", "file ends inside the seed field");
+  C.Seed = leU64At(Data, Pos);
+  Pos += 8;
+
+  // Reads one framed section and hands its payload to \p Parse. Returns an
+  // empty string on success, else the ckpt[...] diagnostic.
+  auto readSection = [&](size_t Index, const char *Name,
+                         auto &&Parse) -> std::string {
+    if (Remaining() < 12)
+      return "ckpt[truncated]: file ends inside section '" +
+             std::string(Name) + "' framing";
+    uint64_t Len = leU64At(Data, Pos);
+    Pos += 8;
+    if (Len > Remaining() - 4)
+      return "ckpt[truncated]: section '" + std::string(Name) +
+             "' overruns the file";
+    std::string Payload = Data.substr(Pos, Len);
+    Pos += Len;
+    uint32_t Stored = leU32At(Data, Pos);
+    Pos += 4;
+    uint32_t Computed = crc32(Payload.data(), Payload.size());
+    if (Stored != Computed) {
+      metrics().counter("ckpt.crc_failures").add(1);
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "stored 0x%08x != computed 0x%08x",
+                    Stored, Computed);
+      return "ckpt[crc:" + std::string(Name) + "]: " + Buf;
+    }
+    if (Sections) {
+      (*Sections)[Index].Present = true;
+      (*Sections)[Index].Bytes = Len;
+    }
+    ByteReader R(Payload);
+    Parse(R);
+    if (!R.ok())
+      return "ckpt[parse:" + std::string(Name) + "]: " + R.error();
+    if (!R.atEnd())
+      return "ckpt[parse:" + std::string(Name) +
+             "]: trailing bytes inside section";
+    return "";
+  };
+  auto SectionFail = [&](const std::string &Msg) -> std::optional<PipelineCheckpoint> {
+    if (Error)
+      *Error = Msg;
+    return std::nullopt;
+  };
+
+  if (std::string E = readSection(0, "interp",
+                                  [&](ByteReader &R) { getInterp(R, C.Interp); });
+      !E.empty())
+    return SectionFail(E);
+
+  // Optional sections: a strict 0/1 flag byte, then the framed payload.
+  struct OptSection {
+    size_t Index;
+    const char *Name;
+    bool *Has;
+    std::function<void(ByteReader &)> Parse;
+  };
+  const OptSection Opt[] = {
+      {1, "tracker", &C.HasTracker,
+       [&](ByteReader &R) { getTracker(R, C.Tracker); }},
+      {2, "interval", &C.HasInterval,
+       [&](ByteReader &R) { getInterval(R, C.Interval); }},
+      {3, "perf", &C.HasPerf, [&](ByteReader &R) { getPerf(R, C.Perf); }},
+      {4, "markers", &C.HasMarkers,
+       [&](ByteReader &R) { getMarkers(R, C.Markers); }},
+  };
+  for (const OptSection &S : Opt) {
+    if (Remaining() < 1)
+      return Fail("truncated", "file ends before the '" +
+                                   std::string(S.Name) + "' flag");
+    uint8_t Flag = static_cast<uint8_t>(Data[Pos]);
+    ++Pos;
+    if (Flag > 1)
+      return Fail("flag:" + std::string(S.Name), "malformed boolean flag");
+    *S.Has = Flag == 1;
+    if (!*S.Has)
+      continue;
+    if (std::string E = readSection(S.Index, S.Name, S.Parse); !E.empty())
+      return SectionFail(E);
+  }
+
+  if (Pos != BodyEnd)
+    return Fail("trailing", "trailing bytes after checkpoint");
   return C;
 }

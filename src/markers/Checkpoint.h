@@ -20,9 +20,13 @@
 /// front, bounds-checked reads, element-count sanity caps, and any
 /// truncation, corruption, or version mismatch fails the whole parse —
 /// resuming from half a checkpoint would silently corrupt every derived
-/// artifact. parseCheckpoint validates shapes internally; the interpreter
-/// frame stack must additionally pass InterpCheckpoint::validateFor against
-/// the binary before resuming.
+/// artifact. Version 2 adds integrity checking for at-rest files (see
+/// docs/FORMATS.md): every section is framed as [u64 len][payload][u32
+/// crc32] and the file ends in a whole-file CRC-32 trailer, so any flipped
+/// bit is rejected with a named `ckpt[crc:...]` diagnostic instead of
+/// parsing into garbage. parseCheckpoint validates shapes internally; the
+/// interpreter frame stack must additionally pass
+/// InterpCheckpoint::validateFor against the binary before resuming.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,13 +41,15 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace spm {
 
 /// Aggregate checkpoint for a pipeline run.
 struct PipelineCheckpoint {
-  /// Current serialization version (bump on any layout change).
-  static constexpr uint32_t Version = 1;
+  /// Current serialization version (bump on any layout change). v2: framed
+  /// sections with per-section CRC-32 and a whole-file CRC-32 trailer.
+  static constexpr uint32_t Version = 2;
 
   /// Seed of the workload input the run was started with; a resume against
   /// a different seed would splice two unrelated streams, so drivers check
@@ -65,13 +71,24 @@ struct PipelineCheckpoint {
   MarkerRuntimeState Markers;
 };
 
-/// Renders a checkpoint in the v1 binary format.
+/// Renders a checkpoint in the v2 binary format.
 std::string serializeCheckpoint(const PipelineCheckpoint &C);
 
-/// Parses the v1 binary format. Returns std::nullopt and fills \p Error on
-/// truncated, corrupted, or wrong-version input.
+/// One row of the section summary `spm_tool checkpoint verify` prints:
+/// which sections the file carries and how many payload bytes each holds.
+struct CheckpointSectionInfo {
+  const char *Name = "";
+  bool Present = false;
+  uint64_t Bytes = 0; ///< Payload size, excluding the length/CRC framing.
+};
+
+/// Parses the v2 binary format. Returns std::nullopt and fills \p Error
+/// (a named `ckpt[...]` diagnostic) on truncated, corrupted, or
+/// wrong-version input. When \p Sections is non-null it receives one row
+/// per known section, populated as far as the parse got.
 std::optional<PipelineCheckpoint>
-parseCheckpoint(const std::string &Data, std::string *Error = nullptr);
+parseCheckpoint(const std::string &Data, std::string *Error = nullptr,
+                std::vector<CheckpointSectionInfo> *Sections = nullptr);
 
 } // namespace spm
 

@@ -21,6 +21,9 @@
 ///     profiling the chain carries only interpreter + tracker and is cheap.
 ///  3. Shard — every shard restores its checkpoint and re-executes its
 ///     segment in parallel on the ambient thread pool, recording outputs.
+///     A leg that throws is re-run from its boundary checkpoint under the
+///     bounded ShardRetryPolicy; legs are pure replays of immutable
+///     checkpoints, so retries stay byte-identical (docs/robustness.md).
 ///
 /// Merging is deterministic and exact:
 ///  - Interval records concatenate in shard order. An interval spanning a
@@ -47,6 +50,7 @@
 #include "callloop/Profile.h"
 #include "markers/Checkpoint.h"
 #include "markers/Pipeline.h"
+#include "support/FailPoint.h"
 #include "support/Metrics.h"
 #include "support/Parallel.h"
 #include "support/Trace.h"
@@ -107,11 +111,44 @@ planShards(const Binary &B, const WorkloadInput &In, unsigned NShards,
   return P;
 }
 
+/// Bounded retry for shard legs (docs/robustness.md). A leg is a pure
+/// replay: it builds a fresh interpreter + observer stack and restores from
+/// an immutable boundary checkpoint, so re-running a failed attempt cannot
+/// observe partial state from the one that died — which is what makes
+/// retry-after-fault byte-identical to a clean run (pinned by the fault
+/// fuzz suite). A leg that keeps failing rethrows its last exception after
+/// MaxRetries re-attempts, and parallelMap surfaces it to the driver's
+/// caller.
+struct ShardRetryPolicy {
+  /// Re-attempts after the first failure (total attempts = MaxRetries + 1).
+  unsigned MaxRetries = 2;
+};
+
 namespace detail {
 
 inline double secondsSince(std::chrono::steady_clock::time_point T0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
       .count();
+}
+
+/// Runs one shard-leg attempt loop under \p Retry. Every attempt — not
+/// every leg — counts in `shard.runs` and crosses the `shard.exec`
+/// failpoint, so observability tests can pin exact attempt totals and the
+/// fault suite can kill any attempt it likes.
+template <class Fn>
+auto runShardLegWithRetry(const ShardRetryPolicy &Retry, Fn &&Leg) {
+  for (unsigned Attempt = 0;; ++Attempt) {
+    try {
+      SPM_TRACE_SPAN("shard.exec");
+      metrics().counter("shard.runs").add(1);
+      SPM_FAILPOINT("shard.exec");
+      return Leg();
+    } catch (const std::exception &) {
+      if (Attempt >= Retry.MaxRetries)
+        throw;
+      metrics().counter("shard.retries").add(1);
+    }
+  }
 }
 
 /// Runs one segment on whichever execution tier \p Bc selects. Checkpoints
@@ -142,7 +179,8 @@ inline std::unique_ptr<CallLoopGraph> buildCallLoopGraphSharded(
     unsigned NShards,
     uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max(),
     std::vector<double> *ShardSeconds = nullptr,
-    const BytecodeModule *Bc = nullptr) {
+    const BytecodeModule *Bc = nullptr,
+    const ShardRetryPolicy &Retry = ShardRetryPolicy()) {
   if (NShards <= 1) {
     auto T0 = std::chrono::steady_clock::now();
     auto G = buildCallLoopGraph(B, Loops, In, MaxInstrs, /*Extra=*/nullptr,
@@ -178,33 +216,34 @@ inline std::unique_ptr<CallLoopGraph> buildCallLoopGraphSharded(
     std::vector<TraversalLog::Entry> Log;
     double Sec = 0.0;
   };
+  auto Leg = [&](size_t S) {
+    auto T0 = std::chrono::steady_clock::now();
+    auto O = std::make_unique<Out>();
+    Interpreter Interp(B, In);
+    CallLoopTracker Tracker(B, Loops, *G);
+    TraversalLog Log;
+    Tracker.addListener(&Log);
+    RunResult R;
+    if (S == 0) {
+      Tracker.onRunStart(B, In);
+      R = detail::segmentWithEngine(Interp, Bc, Tracker, nullptr,
+                                    Plan.Until[0]);
+    } else {
+      bool OK = Tracker.restoreState(Cks[S - 1].Tracker);
+      assert(OK && "tracker checkpoint does not fit the binary");
+      (void)OK;
+      R = detail::segmentWithEngine(Interp, Bc, Tracker, &Cks[S - 1].Interp,
+                                    Plan.Until[S]);
+    }
+    if (S + 1 == NShards)
+      Tracker.onRunEnd(R.TotalInstrs); // Pop-all, as run() does.
+    O->Log = std::move(Log.Log);
+    O->Sec = detail::secondsSince(T0);
+    return O;
+  };
   std::vector<std::unique_ptr<Out>> Outs =
       parallelMap(NShards, [&](size_t S) {
-        SPM_TRACE_SPAN("shard.exec");
-        metrics().counter("shard.runs").add(1);
-        auto T0 = std::chrono::steady_clock::now();
-        auto O = std::make_unique<Out>();
-        Interpreter Interp(B, In);
-        CallLoopTracker Tracker(B, Loops, *G);
-        TraversalLog Log;
-        Tracker.addListener(&Log);
-        RunResult R;
-        if (S == 0) {
-          Tracker.onRunStart(B, In);
-          R = detail::segmentWithEngine(Interp, Bc, Tracker, nullptr,
-                                        Plan.Until[0]);
-        } else {
-          bool OK = Tracker.restoreState(Cks[S - 1].Tracker);
-          assert(OK && "tracker checkpoint does not fit the binary");
-          (void)OK;
-          R = detail::segmentWithEngine(Interp, Bc, Tracker,
-                                        &Cks[S - 1].Interp, Plan.Until[S]);
-        }
-        if (S + 1 == NShards)
-          Tracker.onRunEnd(R.TotalInstrs); // Pop-all, as run() does.
-        O->Log = std::move(Log.Log);
-        O->Sec = detail::secondsSince(T0);
-        return O;
+        return detail::runShardLegWithRetry(Retry, [&] { return Leg(S); });
       });
 
   // Merge: replay the logs in shard order — the concatenation is the exact
@@ -233,7 +272,8 @@ inline MarkerRun runMarkerIntervalsSharded(
     uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max(),
     const PerfModelOptions &PerfOpts = PerfModelOptions(),
     std::vector<double> *ShardSeconds = nullptr,
-    const BytecodeModule *Bc = nullptr) {
+    const BytecodeModule *Bc = nullptr,
+    const ShardRetryPolicy &Retry = ShardRetryPolicy()) {
   if (NShards <= 1) {
     auto T0 = std::chrono::steady_clock::now();
     MarkerRun Out =
@@ -286,46 +326,45 @@ inline MarkerRun runMarkerIntervalsSharded(
     RunResult R;
     double Sec = 0.0;
   };
+  auto Leg = [&](size_t S) {
+    auto T0 = std::chrono::steady_clock::now();
+    auto O = std::make_unique<Out>();
+    PerfModel Perf(PerfOpts);
+    IntervalBuilder Ivb = IntervalBuilder::markerDriven(&Perf, CollectBbv);
+    CallLoopTracker Tracker(B, Loops, G);
+    MarkerRuntime Runtime(M, G);
+    Tracker.addListener(&Runtime);
+    Runtime.setCallback([&, OutP = O.get()](int32_t Idx) {
+      Ivb.requestCut(Idx);
+      if (RecordFirings)
+        OutP->Fr.push_back(Idx);
+    });
+    StaticMux<CallLoopTracker, IntervalBuilder, PerfModel> Mux(Tracker, Ivb,
+                                                               Perf);
+    Interpreter Interp(B, In);
+    if (S == 0) {
+      Mux.onRunStart(B, In);
+      O->R = detail::segmentWithEngine(Interp, Bc, Mux, nullptr,
+                                       Plan.Until[0]);
+    } else {
+      const PipelineCheckpoint &C = Cks[S - 1];
+      bool OK = Tracker.restoreState(C.Tracker) && Perf.restoreState(C.Perf) &&
+                Runtime.restoreState(C.Markers);
+      assert(OK && "checkpoint does not fit this pipeline");
+      (void)OK;
+      Ivb.restoreState(C.Interval);
+      O->R = detail::segmentWithEngine(Interp, Bc, Mux, &C.Interp,
+                                       Plan.Until[S]);
+    }
+    if (S + 1 == NShards)
+      Mux.onRunEnd(O->R.TotalInstrs); // Pop-all + final interval cut.
+    O->Iv = Ivb.takeIntervals();
+    O->Sec = detail::secondsSince(T0);
+    return O;
+  };
   std::vector<std::unique_ptr<Out>> Outs =
       parallelMap(NShards, [&](size_t S) {
-        SPM_TRACE_SPAN("shard.exec");
-        metrics().counter("shard.runs").add(1);
-        auto T0 = std::chrono::steady_clock::now();
-        auto O = std::make_unique<Out>();
-        PerfModel Perf(PerfOpts);
-        IntervalBuilder Ivb =
-            IntervalBuilder::markerDriven(&Perf, CollectBbv);
-        CallLoopTracker Tracker(B, Loops, G);
-        MarkerRuntime Runtime(M, G);
-        Tracker.addListener(&Runtime);
-        Runtime.setCallback([&, OutP = O.get()](int32_t Idx) {
-          Ivb.requestCut(Idx);
-          if (RecordFirings)
-            OutP->Fr.push_back(Idx);
-        });
-        StaticMux<CallLoopTracker, IntervalBuilder, PerfModel> Mux(
-            Tracker, Ivb, Perf);
-        Interpreter Interp(B, In);
-        if (S == 0) {
-          Mux.onRunStart(B, In);
-          O->R = detail::segmentWithEngine(Interp, Bc, Mux, nullptr,
-                                           Plan.Until[0]);
-        } else {
-          const PipelineCheckpoint &C = Cks[S - 1];
-          bool OK = Tracker.restoreState(C.Tracker) &&
-                    Perf.restoreState(C.Perf) &&
-                    Runtime.restoreState(C.Markers);
-          assert(OK && "checkpoint does not fit this pipeline");
-          (void)OK;
-          Ivb.restoreState(C.Interval);
-          O->R = detail::segmentWithEngine(Interp, Bc, Mux, &C.Interp,
-                                           Plan.Until[S]);
-        }
-        if (S + 1 == NShards)
-          Mux.onRunEnd(O->R.TotalInstrs); // Pop-all + final interval cut.
-        O->Iv = Ivb.takeIntervals();
-        O->Sec = detail::secondsSince(T0);
-        return O;
+        return detail::runShardLegWithRetry(Retry, [&] { return Leg(S); });
       });
 
   SPM_TRACE_SPAN("shard.merge");
@@ -352,7 +391,8 @@ inline std::vector<IntervalRecord> runFixedIntervalsSharded(
     uint64_t MaxInstrs = std::numeric_limits<uint64_t>::max(),
     const PerfModelOptions &PerfOpts = PerfModelOptions(),
     std::vector<double> *ShardSeconds = nullptr,
-    const BytecodeModule *Bc = nullptr) {
+    const BytecodeModule *Bc = nullptr,
+    const ShardRetryPolicy &Retry = ShardRetryPolicy()) {
   if (NShards <= 1) {
     auto T0 = std::chrono::steady_clock::now();
     auto Out = runFixedIntervals(B, In, Len, CollectBbv, MaxInstrs, PerfOpts,
@@ -390,36 +430,36 @@ inline std::vector<IntervalRecord> runFixedIntervalsSharded(
     std::vector<IntervalRecord> Iv;
     double Sec = 0.0;
   };
+  auto Leg = [&](size_t S) {
+    auto T0 = std::chrono::steady_clock::now();
+    auto O = std::make_unique<Out>();
+    PerfModel Perf(PerfOpts);
+    IntervalBuilder Ivb = IntervalBuilder::fixedLength(Len, &Perf,
+                                                       CollectBbv);
+    StaticMux<IntervalBuilder, PerfModel> Mux(Ivb, Perf);
+    Interpreter Interp(B, In);
+    RunResult R;
+    if (S == 0) {
+      Mux.onRunStart(B, In);
+      R = detail::segmentWithEngine(Interp, Bc, Mux, nullptr, Plan.Until[0]);
+    } else {
+      const PipelineCheckpoint &C = Cks[S - 1];
+      bool OK = Perf.restoreState(C.Perf);
+      assert(OK && "perf checkpoint does not fit this model");
+      (void)OK;
+      Ivb.restoreState(C.Interval);
+      R = detail::segmentWithEngine(Interp, Bc, Mux, &C.Interp,
+                                    Plan.Until[S]);
+    }
+    if (S + 1 == NShards)
+      Mux.onRunEnd(R.TotalInstrs);
+    O->Iv = Ivb.takeIntervals();
+    O->Sec = detail::secondsSince(T0);
+    return O;
+  };
   std::vector<std::unique_ptr<Out>> Outs =
       parallelMap(NShards, [&](size_t S) {
-        SPM_TRACE_SPAN("shard.exec");
-        metrics().counter("shard.runs").add(1);
-        auto T0 = std::chrono::steady_clock::now();
-        auto O = std::make_unique<Out>();
-        PerfModel Perf(PerfOpts);
-        IntervalBuilder Ivb = IntervalBuilder::fixedLength(Len, &Perf,
-                                                           CollectBbv);
-        StaticMux<IntervalBuilder, PerfModel> Mux(Ivb, Perf);
-        Interpreter Interp(B, In);
-        RunResult R;
-        if (S == 0) {
-          Mux.onRunStart(B, In);
-          R = detail::segmentWithEngine(Interp, Bc, Mux, nullptr,
-                                        Plan.Until[0]);
-        } else {
-          const PipelineCheckpoint &C = Cks[S - 1];
-          bool OK = Perf.restoreState(C.Perf);
-          assert(OK && "perf checkpoint does not fit this model");
-          (void)OK;
-          Ivb.restoreState(C.Interval);
-          R = detail::segmentWithEngine(Interp, Bc, Mux, &C.Interp,
-                                        Plan.Until[S]);
-        }
-        if (S + 1 == NShards)
-          Mux.onRunEnd(R.TotalInstrs);
-        O->Iv = Ivb.takeIntervals();
-        O->Sec = detail::secondsSince(T0);
-        return O;
+        return detail::runShardLegWithRetry(Retry, [&] { return Leg(S); });
       });
 
   SPM_TRACE_SPAN("shard.merge");

@@ -1,0 +1,119 @@
+//===- support/AtomicFile.cpp - Crash-safe atomic file writes -------------===//
+//
+// Part of the SPM project: reproduction of "Selecting Software Phase Markers
+// with Code Structure Analysis" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AtomicFile.h"
+#include "support/FailPoint.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace spm {
+
+namespace {
+
+/// Writes all of \p Data to \p Fd, retrying short writes and EINTR.
+bool writeFully(int Fd, const char *Data, size_t Len) {
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::write(Fd, Data + Off, Len - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+std::string sysError(const std::string &What, const std::string &Path) {
+  return What + " '" + Path + "': " + std::strerror(errno);
+}
+
+/// Best-effort fsync of the directory containing \p Path, making the
+/// rename durable. Failure is ignored: some filesystems refuse directory
+/// fsync, and the data-file fsync already happened.
+void fsyncParentDir(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return;
+  ::fsync(Fd);
+  ::close(Fd);
+}
+
+} // namespace
+
+bool atomicWriteFile(const std::string &Path, const std::string &Data,
+                     std::string *Err, const char *FailSeam) {
+  FailAction Fault = failpointEval(FailSeam);
+  if (Fault.K == FailAction::Kind::Throw) {
+    if (Err)
+      *Err = "injected fault at failpoint '" + std::string(FailSeam) +
+             "' writing '" + Path + "'";
+    return false;
+  }
+
+  static std::atomic<uint64_t> Seq{0};
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(Seq.fetch_add(1, std::memory_order_relaxed));
+
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (Fd < 0) {
+    if (Err)
+      *Err = sysError("cannot create temp file", Tmp);
+    return false;
+  }
+
+  // An injected partial write tears the payload mid-stream: exactly Arg
+  // bytes land in the temp file, then the write "fails". The cleanup below
+  // must leave no trace of it — that is the regression the fault suite pins.
+  size_t Len = Data.size();
+  bool Torn = false;
+  if (Fault.K == FailAction::Kind::Partial) {
+    Len = Fault.Arg < Len ? static_cast<size_t>(Fault.Arg) : Len;
+    Torn = true;
+  }
+
+  bool Ok = writeFully(Fd, Data.data(), Len);
+  std::string IoErr;
+  if (!Ok)
+    IoErr = sysError("write failed for", Tmp);
+  if (Ok && !Torn && ::fsync(Fd) != 0) {
+    Ok = false;
+    IoErr = sysError("fsync failed for", Tmp);
+  }
+  ::close(Fd);
+
+  if (!Ok || Torn) {
+    ::unlink(Tmp.c_str());
+    if (Err)
+      *Err = Torn ? "injected fault at failpoint '" + std::string(FailSeam) +
+                        "' (partial write of " + std::to_string(Len) +
+                        " bytes) writing '" + Path + "'"
+                  : IoErr;
+    return false;
+  }
+
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    if (Err)
+      *Err = sysError("rename failed for", Tmp);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  fsyncParentDir(Path);
+  return true;
+}
+
+} // namespace spm

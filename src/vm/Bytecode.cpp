@@ -7,6 +7,7 @@
 
 #include "vm/Bytecode.h"
 
+#include "support/FailPoint.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 #include "vm/Fusion.h"
@@ -244,6 +245,7 @@ const char *payloadKindName(ExecNode::Kind K) {
 } // namespace
 
 bool BytecodeModule::verify(const Binary &B, std::string *Error) const {
+  SPM_FAILPOINT("bc.verify");
   auto Fail = [&](const std::string &Why) {
     if (Error)
       *Error = Why;

@@ -1,0 +1,118 @@
+//===- tests/CkptTestUtil.h - spmckpt v2 layout and reseal helpers --------===//
+//
+// Corruption tests against the v2 checkpoint format have to get past two
+// layers of CRC (the whole-file trailer and the per-section checksum) before
+// they can exercise the structural parsers. These helpers walk the framing of
+// a well-formed checkpoint and recompute the checksums after a test mutates
+// payload bytes in place, so tests can target "boolean flag at payload
+// offset N" instead of hard-coding absolute file offsets that rot whenever a
+// section grows.
+//
+// The walker trusts length fields, so only hand it bytes produced by
+// serializeCheckpoint (mutated afterwards only through these helpers).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPM_TESTS_CKPTTESTUTIL_H
+#define SPM_TESTS_CKPTTESTUTIL_H
+
+#include "support/Crc32.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ckptutil {
+
+// Fixed v2 offsets: magic(8) + version(4), then the u64 seed, then the
+// mandatory interp section. The last four bytes are the whole-file CRC.
+constexpr size_t HeaderSize = 12;
+constexpr size_t SeedOff = 12;
+constexpr size_t FirstSectionOff = 20;
+constexpr size_t TrailerSize = 4;
+
+// Offsets *within* the interp payload of fields the structural tests poke.
+// Fixed scalar prelude: totals(24) + rng state(32) + spare(8).
+constexpr size_t InterpHaveSpareOff = 24 + 32 + 8;          // u8 bool
+constexpr size_t InterpSeqPosCountOff = InterpHaveSpareOff + 1; // u64 count
+
+struct SectionSpan {
+  const char *Name;
+  size_t LenOff;     ///< Offset of the section's u64 length field.
+  size_t PayloadOff; ///< First payload byte.
+  uint64_t Len;      ///< Payload length in bytes.
+  size_t CrcOff;     ///< Offset of the section's u32 CRC.
+};
+
+inline uint64_t leU64At(const std::string &D, size_t Pos) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<uint8_t>(D[Pos + I])) << (8 * I);
+  return V;
+}
+
+inline void putLeU32At(std::string &D, size_t Pos, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    D[Pos + I] = static_cast<char>((V >> (8 * I)) & 0xff);
+}
+
+/// Walks the framed sections of a well-formed v2 checkpoint, in file order.
+/// Absent optional sections are skipped; index 0 is always "interp".
+inline std::vector<SectionSpan> sections(const std::string &Bytes) {
+  static const char *Names[5] = {"interp", "tracker", "interval", "perf",
+                                 "markers"};
+  std::vector<SectionSpan> Out;
+  size_t Pos = FirstSectionOff;
+  for (size_t I = 0; I < 5; ++I) {
+    if (I > 0) {
+      assert(Pos < Bytes.size());
+      bool Present = Bytes[Pos] != 0;
+      ++Pos;
+      if (!Present)
+        continue;
+    }
+    SectionSpan S;
+    S.Name = Names[I];
+    S.LenOff = Pos;
+    S.Len = leU64At(Bytes, Pos);
+    S.PayloadOff = Pos + 8;
+    S.CrcOff = S.PayloadOff + static_cast<size_t>(S.Len);
+    assert(S.CrcOff + 4 <= Bytes.size());
+    Out.push_back(S);
+    Pos = S.CrcOff + 4;
+  }
+  return Out;
+}
+
+/// Recomputes the whole-file trailer CRC over everything before it.
+inline void resealFile(std::string &Bytes) {
+  assert(Bytes.size() >= HeaderSize + TrailerSize);
+  size_t BodyEnd = Bytes.size() - TrailerSize;
+  putLeU32At(Bytes, BodyEnd, spm::crc32(Bytes.data(), BodyEnd));
+}
+
+/// Recomputes one section's CRC after its payload was mutated in place
+/// (same length), then reseals the file trailer so the parser reaches the
+/// structural checks instead of stopping at ckpt[crc:...].
+inline void resealSection(std::string &Bytes, const SectionSpan &S) {
+  putLeU32At(Bytes, S.CrcOff,
+             spm::crc32(Bytes.data() + S.PayloadOff,
+                        static_cast<size_t>(S.Len)));
+  resealFile(Bytes);
+}
+
+/// Cuts the body at \p BodyLen bytes and appends a *valid* trailer over the
+/// cut, producing a file whose CRC passes but whose structure is truncated —
+/// the only way to reach the parser's own "truncated" diagnostics in v2.
+inline std::string truncateAndReseal(const std::string &Bytes,
+                                     size_t BodyLen) {
+  std::string Out = Bytes.substr(0, BodyLen);
+  Out.append(TrailerSize, '\0');
+  resealFile(Out);
+  return Out;
+}
+
+} // namespace ckptutil
+
+#endif // SPM_TESTS_CKPTTESTUTIL_H

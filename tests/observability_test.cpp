@@ -19,14 +19,18 @@
 
 #include "callloop/Profile.h"
 #include "ir/Lowering.h"
+#include "markers/Checkpoint.h"
 #include "markers/Pipeline.h"
 #include "markers/Selector.h"
 #include "markers/Sharded.h"
+#include "support/FailPoint.h"
 #include "support/Metrics.h"
 #include "support/Parallel.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 #include "workloads/Workloads.h"
+
+#include "CkptTestUtil.h"
 
 #include <gtest/gtest.h>
 
@@ -536,6 +540,101 @@ TEST(Metrics, ExactShardCounters) {
   spmTraceSetEnabled(false);
   EXPECT_EQ(metrics().counterValue("shard.runs"), 0u);
   EXPECT_EQ(metrics().counterValue("vm.runs_fast"), 1u);
+}
+
+// Fault-injection counters are exact too: one injected shard fault means
+// exactly one fault.injected, one shard.retries, and one extra shard.runs
+// attempt — and the healed run's counters otherwise match a faultless one.
+TEST(Metrics, ExactFaultAndRetryCounters) {
+  ObsGuard Guard;
+  if (!failpointsCompiledIn()) {
+    // Compiled-out builds must refuse to arm rather than silently no-op.
+    std::string Err;
+    EXPECT_FALSE(failpointsConfigure("shard.exec=throw:once", &Err));
+    EXPECT_NE(Err.find("compiled out"), std::string::npos) << Err;
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  ScopedJobs Jobs(3);
+  PipelineCase C = makeCase();
+  ASSERT_FALSE(C.Markers.empty());
+
+  std::string Base = dumpRun(runMarkerIntervalsSharded(
+      *C.B, C.Loops, *C.G, C.Markers, C.W.Ref, false, false,
+      /*NShards=*/3, Cap));
+
+  std::string Err;
+  ASSERT_TRUE(failpointsConfigure("shard.exec=throw:once", &Err)) << Err;
+  spmTraceSetEnabled(true);
+  MarkerRun Healed = runMarkerIntervalsSharded(*C.B, C.Loops, *C.G,
+                                               C.Markers, C.W.Ref, false,
+                                               false, /*NShards=*/3, Cap);
+  spmTraceSetEnabled(false);
+  EXPECT_EQ(failpointHits("shard.exec"), 4u); // 3 legs + 1 retry evaluated.
+  failpointsClear();
+
+  // Retried legs are pure replays: the healed run is byte-identical.
+  EXPECT_EQ(dumpRun(Healed), Base);
+  if (!traceCompiledIn()) {
+    EXPECT_EQ(metrics().counterValue("shard.runs"), 0u);
+    return;
+  }
+  EXPECT_EQ(metrics().counterValue("fault.injected"), 1u);
+  EXPECT_EQ(metrics().counterValue("shard.retries"), 1u);
+  EXPECT_EQ(metrics().counterValue("shard.runs"), 4u); // 3 legs + 1 retry.
+}
+
+// A retry budget of zero rethrows the injected fault to the caller, and the
+// retry counter stays at zero — exhaustion is not silently swallowed.
+TEST(Metrics, RetryExhaustionPropagatesFault) {
+  ObsGuard Guard;
+  if (!failpointsCompiledIn())
+    GTEST_SKIP() << "failpoints compiled out";
+  ScopedJobs Jobs(3);
+  PipelineCase C = makeCase();
+  ASSERT_FALSE(C.Markers.empty());
+
+  std::string Err;
+  ASSERT_TRUE(failpointsConfigure("shard.exec=throw", &Err)) << Err;
+  ShardRetryPolicy NoRetry;
+  NoRetry.MaxRetries = 0;
+  EXPECT_THROW(runMarkerIntervalsSharded(*C.B, C.Loops, *C.G, C.Markers,
+                                         C.W.Ref, false, false,
+                                         /*NShards=*/3, Cap,
+                                         PerfModelOptions(),
+                                         /*ShardSeconds=*/nullptr,
+                                         /*Bc=*/nullptr, NoRetry),
+               FailPointInjected);
+  failpointsClear();
+  EXPECT_EQ(metrics().counterValue("shard.retries"), 0u);
+}
+
+// Every CRC rejection during checkpoint parsing is counted exactly once.
+TEST(Metrics, ExactCrcFailureCounter) {
+  ObsGuard Guard;
+  PipelineCheckpoint C;
+  C.Seed = 9;
+  C.Interp.TotalInstrs = 5;
+  std::string Bytes = serializeCheckpoint(C);
+  std::string Bad = Bytes;
+  Bad[Bad.size() - ckptutil::TrailerSize - 1] ^= 0x01;
+
+  spmTraceSetEnabled(true);
+  std::string Err;
+  EXPECT_FALSE(parseCheckpoint(Bad, &Err).has_value());
+  spmTraceSetEnabled(false);
+  EXPECT_NE(Err.find("ckpt[crc:"), std::string::npos) << Err;
+
+  if (!traceCompiledIn()) {
+    EXPECT_EQ(metrics().counterValue("ckpt.crc_failures"), 0u);
+    return;
+  }
+  EXPECT_EQ(metrics().counterValue("ckpt.crc_failures"), 1u);
+
+  // A clean parse adds nothing.
+  spmTraceSetEnabled(true);
+  EXPECT_TRUE(parseCheckpoint(Bytes).has_value());
+  spmTraceSetEnabled(false);
+  EXPECT_EQ(metrics().counterValue("ckpt.crc_failures"), 1u);
 }
 
 // Gated mutators are inert while disabled; force* mutators always record.

@@ -19,6 +19,8 @@
 #include "markers/Sharded.h"
 #include "workloads/Workloads.h"
 
+#include "CkptTestUtil.h"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -394,46 +396,66 @@ TEST(ShardCheckpoint, ParseRejectsWrongVersion) {
 
 TEST(ShardCheckpoint, ParseRejectsTrailingGarbage) {
   std::string Bytes = serializeCheckpoint(sampleCheckpoint());
-  std::string Err;
-  EXPECT_FALSE(parseCheckpoint(Bytes + '\0', &Err).has_value());
-  EXPECT_NE(Err.find("trailing"), std::string::npos) << Err;
+  {
+    // A raw appended byte trips the whole-file CRC before anything else.
+    std::string Err;
+    EXPECT_FALSE(parseCheckpoint(Bytes + '\0', &Err).has_value());
+    EXPECT_NE(Err.find("ckpt[crc:file]"), std::string::npos) << Err;
+  }
+  {
+    // With the trailer resealed over the stray byte, the parser itself
+    // must still reject the surplus.
+    std::string Bad = Bytes;
+    Bad.insert(Bad.size() - ckptutil::TrailerSize, 1, '\0');
+    ckptutil::resealFile(Bad);
+    std::string Err;
+    EXPECT_FALSE(parseCheckpoint(Bad, &Err).has_value());
+    EXPECT_NE(Err.find("trailing"), std::string::npos) << Err;
+  }
 }
 
 TEST(ShardCheckpoint, ParseRejectsCorruptFrameKindStepAndBool) {
-  // Fixed prefix layout: magic(8) version(4) seed(8) totals(24)
-  // rng S(32) spare(8) -> HaveSpare bool at offset 84; six empty-vector
-  // counts in the sample take 6*8 bytes only if the vectors are empty, so
-  // recompute offsets against a minimal checkpoint instead of the sample.
+  // Structural validation must survive an attacker who reseals the CRCs:
+  // corrupt a field inside the interp payload, recompute both checksums,
+  // and the strict parsers still have to name the damage. Interp payload
+  // layout: totals(24) rng S(32) spare(8) -> HaveSpare bool at 64, then
+  // six empty-vector counts (6*8) and the frame count (8) put the first
+  // frame's kind byte at 121 for a minimal checkpoint with empty vectors.
   PipelineCheckpoint C;
   ResumeFrame F;
   F.K = ResumeFrame::Kind::Loop;
   F.Step = ResumeFrame::StepBody;
   C.Interp.Frames.push_back(F);
   std::string Bytes = serializeCheckpoint(C);
+  ckptutil::SectionSpan Interp = ckptutil::sections(Bytes).at(0);
 
-  constexpr size_t HaveSpareOff = 8 + 4 + 8 + 24 + 32 + 8; // = 84
-  constexpr size_t FrameKindOff = HaveSpareOff + 1 + 6 * 8 + 8; // = 141
-  constexpr size_t FrameStepOff = FrameKindOff + 1;
+  const size_t HaveSpareOff = Interp.PayloadOff + ckptutil::InterpHaveSpareOff;
+  const size_t FrameKindOff =
+      Interp.PayloadOff + ckptutil::InterpHaveSpareOff + 1 + 6 * 8 + 8;
+  const size_t FrameStepOff = FrameKindOff + 1;
 
-  {
+  auto Corrupt = [&](size_t Off, char V) {
     std::string Bad = Bytes;
-    Bad[HaveSpareOff] = 2; // Neither 0 nor 1.
+    Bad[Off] = V;
+    ckptutil::resealSection(Bad, Interp);
+    return Bad;
+  };
+  {
     std::string Err;
-    EXPECT_FALSE(parseCheckpoint(Bad, &Err).has_value());
+    EXPECT_FALSE(
+        parseCheckpoint(Corrupt(HaveSpareOff, 2), &Err).has_value());
     EXPECT_NE(Err.find("boolean"), std::string::npos) << Err;
   }
   {
-    std::string Bad = Bytes;
-    Bad[FrameKindOff] = 17; // Past Kind::Call.
     std::string Err;
-    EXPECT_FALSE(parseCheckpoint(Bad, &Err).has_value());
+    EXPECT_FALSE(
+        parseCheckpoint(Corrupt(FrameKindOff, 17), &Err).has_value());
     EXPECT_NE(Err.find("frame kind"), std::string::npos) << Err;
   }
   {
-    std::string Bad = Bytes;
-    Bad[FrameStepOff] = 7; // Past StepExit.
     std::string Err;
-    EXPECT_FALSE(parseCheckpoint(Bad, &Err).has_value());
+    EXPECT_FALSE(
+        parseCheckpoint(Corrupt(FrameStepOff, 7), &Err).has_value());
     EXPECT_NE(Err.find("frame step"), std::string::npos) << Err;
   }
 }

@@ -31,6 +31,8 @@
 #include "markers/Serialize.h"
 #include "markers/Sharded.h"
 #include "phase/Metrics.h"
+#include "support/AtomicFile.h"
+#include "support/FailPoint.h"
 #include "support/Metrics.h"
 #include "support/Parallel.h"
 #include "support/Table.h"
@@ -72,6 +74,7 @@ int usage() {
       "                  [-o <ckpt>] [--intervals <file>] [--input train|ref]\n"
       "  spm_tool checkpoint resume <workload> <marker-file> <ckpt>\n"
       "                  [--intervals <file>] [--input train|ref]\n"
+      "  spm_tool checkpoint verify <workload> <ckpt> [--input train|ref]\n"
       "  spm_tool dot <workload> [--input train|ref]\n"
       "  spm_tool import <cfg-file> [--split-irreducible] [-o <file>]\n"
       "                  [--report [--param NAME=VALUE]... [--seed N]\n"
@@ -88,6 +91,9 @@ int usage() {
       "        trace_event JSON timeline (chrome://tracing / Perfetto)\n"
       "        --metrics-out FILE enables spmtrace and writes the metrics\n"
       "        registry as JSONL ('-' = stderr as text)\n"
+      "        --failpoints SPEC arms named fault-injection points, e.g.\n"
+      "        ckpt.write=partial:3,shard.exec=throw:every:2 (testing;\n"
+      "        needs an SPM_FAILPOINTS=ON build, see docs/robustness.md)\n"
       "bench --profile measures per-stage event throughput of the legacy\n"
       "per-event engine vs the batched engine; JSON lands in\n"
       "BENCH_engine.json unless -o overrides it; the sharded-execution\n"
@@ -111,16 +117,21 @@ bool readFile(const std::string &Path, std::string &Out) {
   return true;
 }
 
-bool writeOutput(const std::string &Path, const std::string &Text) {
+/// All file output lands atomically (support/AtomicFile.h): temp + fsync +
+/// rename, so an interrupted or faulted run never leaves a torn artifact.
+/// \p Seam names the fault-injection seam for this write class.
+bool writeOutput(const std::string &Path, const std::string &Text,
+                 const char *Seam = "tool.write") {
   if (Path.empty() || Path == "-") {
     std::fputs(Text.c_str(), stdout);
     return true;
   }
-  std::ofstream OutF(Path);
-  if (!OutF)
+  std::string Err;
+  if (!atomicWriteFile(Path, Text, &Err, Seam)) {
+    std::fprintf(stderr, "%s\n", Err.c_str());
     return false;
-  OutF << Text;
-  return static_cast<bool>(OutF);
+  }
+  return true;
 }
 
 /// Escapes a string for embedding in a JSON string literal. Error paths
@@ -174,6 +185,7 @@ struct CommonArgs {
   std::string IntervalsPath;
   std::string TraceOut;
   std::string MetricsOut;
+  std::string Failpoints;
   std::string Engine = "tree";
   bool NoFuse = false;
   std::vector<std::pair<std::string, int64_t>> Params;
@@ -229,6 +241,8 @@ CommonArgs parseArgs(int Argc, char **Argv, int Start) {
       A.TraceOut = V;
     } else if (valueOpt(Arg, "--metrics-out", I, Argc, Argv, V)) {
       A.MetricsOut = V;
+    } else if (valueOpt(Arg, "--failpoints", I, Argc, Argv, V)) {
+      A.Failpoints = V;
     } else if (valueOpt(Arg, "--engine", I, Argc, Argv, V)) {
       if (V != "tree" && V != "bytecode" && V != "bytecode-fused") {
         std::fprintf(stderr,
@@ -909,7 +923,7 @@ int cmdBenchProfile(const CommonArgs &A) {
   std::printf("%s", T.str().c_str());
   std::string OutPath =
       A.OutPath.empty() ? std::string("BENCH_engine.json") : A.OutPath;
-  if (!writeOutput(OutPath, Json)) {
+  if (!writeOutput(OutPath, Json, "bench.write")) {
     std::fprintf(stderr, "bench: cannot write %s\n", OutPath.c_str());
     return 1;
   }
@@ -948,7 +962,7 @@ int cmdBenchProfile(const CommonArgs &A) {
   SJson += "  \"parity\": \"outputs byte-identical to runFast for every "
            "shard count (ctest -L shard)\",\n";
   SJson += "  \"workloads\": [\n" + ShardDetail + "\n  ]\n}\n";
-  if (!writeOutput("BENCH_shard.json", SJson)) {
+  if (!writeOutput("BENCH_shard.json", SJson, "bench.write")) {
     std::fprintf(stderr, "bench: cannot write BENCH_shard.json\n");
     return 1;
   }
@@ -1062,7 +1076,7 @@ int cmdCheckpointSave(const CommonArgs &A) {
   C.HasMarkers = true;
   C.Markers = P.Runtime->saveState();
 
-  if (!writeOutput(A.OutPath, serializeCheckpoint(C))) {
+  if (!writeOutput(A.OutPath, serializeCheckpoint(C), "ckpt.write")) {
     std::fprintf(stderr, "checkpoint save: cannot write %s\n",
                  A.OutPath.c_str());
     return 1;
@@ -1156,15 +1170,90 @@ int cmdCheckpointResume(const CommonArgs &A) {
   return 0;
 }
 
+/// `checkpoint verify`: the full integrity ladder a checkpoint must climb
+/// before it is trusted — magic, version, whole-file and per-section CRCs,
+/// strict structural parse, and InterpCheckpoint::validateFor against the
+/// workload's binary — plus a human-readable section summary. Any rung
+/// failing prints the parser's named ckpt[...] diagnostic and exits
+/// nonzero, without executing anything.
+int cmdCheckpointVerify(const CommonArgs &A) {
+  if (A.Positional.size() < 3) {
+    std::fprintf(stderr, "checkpoint verify: need <workload> <ckpt-file>\n");
+    return 1;
+  }
+  const std::string &WlName = A.Positional[1];
+  if (!knownWorkload(WlName)) {
+    std::fprintf(stderr, "checkpoint: unknown workload %s\n",
+                 WlName.c_str());
+    return 1;
+  }
+  std::string Raw;
+  if (!readFile(A.Positional[2], Raw)) {
+    std::fprintf(stderr, "checkpoint verify: cannot read %s\n",
+                 A.Positional[2].c_str());
+    return 1;
+  }
+  std::string Err;
+  std::vector<CheckpointSectionInfo> Secs;
+  auto C = parseCheckpoint(Raw, &Err, &Secs);
+  if (!C) {
+    std::fprintf(stderr, "checkpoint verify: %s\n", Err.c_str());
+    return 1;
+  }
+  Workload W = WorkloadRegistry::create(WlName);
+  auto Bin = lower(*W.Program, LoweringOptions::O2());
+  if (!C->Interp.validateFor(*Bin, &Err)) {
+    std::fprintf(stderr, "checkpoint verify: ckpt[validate]: %s\n",
+                 Err.c_str());
+    return 1;
+  }
+  const WorkloadInput &In = A.UseRef ? W.Ref : W.Train;
+  if (C->Seed != In.seed())
+    std::fprintf(stderr,
+                 "checkpoint verify: note: seed %llu differs from this "
+                 "input's %llu (resume would refuse it)\n",
+                 static_cast<unsigned long long>(C->Seed),
+                 static_cast<unsigned long long>(In.seed()));
+
+  Table T;
+  T.row().cell("field").cell("value");
+  T.row().cell("file bytes").cell(static_cast<uint64_t>(Raw.size()));
+  T.row().cell("version").cell(
+      static_cast<uint64_t>(PipelineCheckpoint::Version));
+  T.row().cell("seed").cell(C->Seed);
+  T.row().cell("instructions").cell(C->Interp.TotalInstrs);
+  T.row().cell("resume frames").cell(
+      static_cast<uint64_t>(C->Interp.Frames.size()));
+  T.row().cell("finished").cell(
+      std::string(C->Interp.Finished ? "yes" : "no"));
+  std::printf("%s\nsections:\n", T.str().c_str());
+  Table S;
+  S.row().cell("section").cell("present").cell("payload bytes");
+  for (const CheckpointSectionInfo &Sec : Secs) {
+    auto &R = S.row().cell(Sec.Name).cell(
+        std::string(Sec.Present ? "yes" : "no"));
+    if (Sec.Present)
+      R.cell(Sec.Bytes);
+    else
+      R.cell(std::string("-"));
+  }
+  std::printf("%s", S.str().c_str());
+  std::printf("checkpoint OK: magic, version, CRCs, structure, and "
+              "binary fit all verified\n");
+  return 0;
+}
+
 int cmdCheckpoint(const CommonArgs &A) {
   if (A.Positional.empty()) {
-    std::fprintf(stderr, "checkpoint: need save or resume\n");
+    std::fprintf(stderr, "checkpoint: need save, resume, or verify\n");
     return 1;
   }
   if (A.Positional[0] == "save")
     return cmdCheckpointSave(A);
   if (A.Positional[0] == "resume")
     return cmdCheckpointResume(A);
+  if (A.Positional[0] == "verify")
+    return cmdCheckpointVerify(A);
   std::fprintf(stderr, "checkpoint: unknown subcommand %s\n",
                A.Positional[0].c_str());
   return 1;
@@ -1287,7 +1376,7 @@ int cmdImport(const CommonArgs &A) {
 int dumpObservability(const CommonArgs &A) {
   int Rc = 0;
   if (!A.TraceOut.empty()) {
-    if (writeOutput(A.TraceOut, traceToChromeJson())) {
+    if (writeOutput(A.TraceOut, traceToChromeJson(), "trace.write")) {
       std::fprintf(stderr, "wrote %s (%zu span events, %llu dropped)\n",
                    A.TraceOut.c_str(), traceEventCount(),
                    static_cast<unsigned long long>(traceDroppedCount()));
@@ -1299,7 +1388,8 @@ int dumpObservability(const CommonArgs &A) {
   if (!A.MetricsOut.empty()) {
     if (A.MetricsOut == "-") {
       std::fputs(metrics().toText().c_str(), stderr);
-    } else if (writeOutput(A.MetricsOut, metrics().toJsonl())) {
+    } else if (writeOutput(A.MetricsOut, metrics().toJsonl(),
+                           "metrics.write")) {
       std::fprintf(stderr, "wrote %s\n", A.MetricsOut.c_str());
     } else {
       std::fprintf(stderr, "cannot write %s\n", A.MetricsOut.c_str());
@@ -1340,12 +1430,29 @@ int main(int Argc, char **Argv) {
     return usage();
   if (!A.TraceOut.empty() || !A.MetricsOut.empty())
     spmTraceSetEnabled(true);
+  if (!A.Failpoints.empty()) {
+    // Arming a spec the build cannot honor (SPM_FAILPOINTS=OFF) fails here
+    // rather than running fault-free under a test that expects faults.
+    std::string Err;
+    if (!failpointsConfigure(A.Failpoints, &Err)) {
+      std::fprintf(stderr, "--failpoints: %s\n", Err.c_str());
+      return 2;
+    }
+  }
   int Rc;
   {
     // Force-recorded so a metrics dump is never empty, even in builds
     // with SPM_TRACE compiled out.
     ScopedMetricTimer T("pipeline.cmd_wall_s");
-    Rc = dispatch(Cmd, A);
+    try {
+      Rc = dispatch(Cmd, A);
+    } catch (const FailPointInjected &E) {
+      // An injected fault that no recovery path absorbed kills the command
+      // like the crash it simulates — but cleanly enough that the
+      // observability dump below still runs.
+      std::fprintf(stderr, "%s\n", E.what());
+      Rc = 1;
+    }
   }
   int ObsRc = dumpObservability(A);
   return Rc ? Rc : ObsRc;
