@@ -28,6 +28,7 @@
 #include "support/Bytes.h"
 #include "support/Crc32.h"
 #include "support/FailPoint.h"
+#include "support/FlightRecorder.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
@@ -195,6 +196,8 @@ void getTracker(ByteReader &R, TrackerCheckpoint &T) {
 void putInterval(ByteWriter &W, const IntervalBuilderState &V) {
   W.u64(V.StartInstr);
   W.u64(V.CurInstrs);
+  W.u64(V.CurBlocks);
+  W.u64(V.CurMem);
   W.i32(V.CurPhase);
   W.u8(V.PendingCut ? 1 : 0);
   W.i32(V.PendingPhase);
@@ -209,6 +212,8 @@ void putInterval(ByteWriter &W, const IntervalBuilderState &V) {
 void getInterval(ByteReader &R, IntervalBuilderState &V) {
   V.StartInstr = R.u64();
   V.CurInstrs = R.u64();
+  V.CurBlocks = R.u64();
+  V.CurMem = R.u64();
   V.CurPhase = R.i32();
   V.PendingCut = getBool(R);
   V.PendingPhase = R.i32();
@@ -280,6 +285,7 @@ uint64_t leU64At(const std::string &D, size_t Pos) {
 
 std::string spm::serializeCheckpoint(const PipelineCheckpoint &C) {
   SPM_TRACE_SPAN("ckpt.serialize");
+  flightRecord("ckpt.serialize", "seed=" + std::to_string(C.Seed));
   SPM_FAILPOINT("ckpt.serialize");
   std::optional<ScopedMetricTimer> Timer;
   if (spmTraceEnabled())
@@ -334,6 +340,7 @@ std::optional<PipelineCheckpoint>
 spm::parseCheckpoint(const std::string &Data, std::string *Error,
                      std::vector<CheckpointSectionInfo> *Sections) {
   SPM_TRACE_SPAN("ckpt.parse");
+  flightRecord("ckpt.parse", std::to_string(Data.size()) + " bytes");
   SPM_FAILPOINT("ckpt.read");
   std::optional<ScopedMetricTimer> Timer;
   if (spmTraceEnabled()) {

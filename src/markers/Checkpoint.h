@@ -49,7 +49,9 @@ namespace spm {
 struct PipelineCheckpoint {
   /// Current serialization version (bump on any layout change). v2: framed
   /// sections with per-section CRC-32 and a whole-file CRC-32 trailer.
-  static constexpr uint32_t Version = 2;
+  /// v3: interval section carries the open interval's block and memory
+  /// accumulators (per-phase attribution state).
+  static constexpr uint32_t Version = 3;
 
   /// Seed of the workload input the run was started with; a resume against
   /// a different seed would splice two unrelated streams, so drivers check

@@ -51,6 +51,7 @@
 #include "markers/Checkpoint.h"
 #include "markers/Pipeline.h"
 #include "support/FailPoint.h"
+#include "support/FlightRecorder.h"
 #include "support/Metrics.h"
 #include "support/Parallel.h"
 #include "support/Trace.h"
@@ -140,12 +141,14 @@ auto runShardLegWithRetry(const ShardRetryPolicy &Retry, Fn &&Leg) {
   for (unsigned Attempt = 0;; ++Attempt) {
     try {
       SPM_TRACE_SPAN("shard.exec");
+      flightRecord("shard.exec", "attempt=" + std::to_string(Attempt));
       metrics().counter("shard.runs").add(1);
       SPM_FAILPOINT("shard.exec");
       return Leg();
-    } catch (const std::exception &) {
+    } catch (const std::exception &E) {
       if (Attempt >= Retry.MaxRetries)
         throw;
+      flightRecord("shard.retry", E.what());
       metrics().counter("shard.retries").add(1);
     }
   }

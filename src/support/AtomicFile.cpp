@@ -7,6 +7,7 @@
 
 #include "support/AtomicFile.h"
 #include "support/FailPoint.h"
+#include "support/FlightRecorder.h"
 
 #include <atomic>
 #include <cerrno>
@@ -57,6 +58,7 @@ void fsyncParentDir(const std::string &Path) {
 
 bool atomicWriteFile(const std::string &Path, const std::string &Data,
                      std::string *Err, const char *FailSeam) {
+  flightRecord("file.write", Path);
   FailAction Fault = failpointEval(FailSeam);
   if (Fault.K == FailAction::Kind::Throw) {
     if (Err)

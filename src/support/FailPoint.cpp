@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/FailPoint.h"
+#include "support/FlightRecorder.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
@@ -208,8 +209,10 @@ FailAction failpointEval(const char *Name) {
       break;
     }
   }
-  if (Act.K != FailAction::Kind::None)
+  if (Act.K != FailAction::Kind::None) {
     metrics().counter("fault.injected").add(1);
+    flightRecord("fault.injected", Name);
+  }
   return Act;
 }
 

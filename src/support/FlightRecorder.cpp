@@ -1,0 +1,167 @@
+//===- support/FlightRecorder.cpp -----------------------------------------==//
+
+#include "support/FlightRecorder.h"
+
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+using namespace spm;
+
+namespace {
+
+/// Fixed-capacity overwrite-oldest ring. 256 seam-level events cover far
+/// more history than any single command produces between fault and unwind.
+struct Ring {
+  static constexpr size_t Capacity = 256;
+  std::mutex Mu;
+  std::vector<FlightEvent> Events; ///< Ring storage, wraps at Capacity.
+  size_t Next = 0;                 ///< Slot the next event lands in.
+  uint64_t Overwritten = 0;
+
+  static Ring &instance() {
+    static Ring *R = new Ring; // Leaked: records during static teardown too.
+    return *R;
+  }
+};
+
+uint64_t nowNs() {
+  static const uint64_t Epoch =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  uint64_t Now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now().time_since_epoch())
+                     .count();
+  return Now - Epoch;
+}
+
+void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+} // namespace
+
+void spm::flightRecord(const char *Kind, std::string Detail) {
+  uint64_t Ns = nowNs();
+  Ring &R = Ring::instance();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  FlightEvent E{Ns, Kind, std::move(Detail)};
+  if (R.Events.size() < Ring::Capacity) {
+    R.Events.push_back(std::move(E));
+  } else {
+    R.Events[R.Next] = std::move(E);
+    ++R.Overwritten;
+  }
+  R.Next = (R.Next + 1) % Ring::Capacity;
+}
+
+std::vector<FlightEvent> spm::flightRecorderEvents() {
+  Ring &R = Ring::instance();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  std::vector<FlightEvent> Out;
+  Out.reserve(R.Events.size());
+  // Oldest first: once the ring has wrapped, Next is the oldest slot.
+  size_t Start = R.Events.size() < Ring::Capacity ? 0 : R.Next;
+  for (size_t I = 0; I < R.Events.size(); ++I)
+    Out.push_back(R.Events[(Start + I) % R.Events.size()]);
+  return Out;
+}
+
+uint64_t spm::flightRecorderOverwritten() {
+  Ring &R = Ring::instance();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  return R.Overwritten;
+}
+
+void spm::flightRecorderReset() {
+  Ring &R = Ring::instance();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Events.clear();
+  R.Next = 0;
+  R.Overwritten = 0;
+}
+
+std::string spm::flightRecorderToJson() {
+  std::string Out = "[";
+  bool First = true;
+  for (const FlightEvent &E : flightRecorderEvents()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "\n{\"ns\": %llu, \"kind\": ",
+                  static_cast<unsigned long long>(E.Ns));
+    Out += Buf;
+    appendJsonString(Out, E.Kind);
+    Out += ", \"detail\": ";
+    appendJsonString(Out, E.Detail);
+    Out += "}";
+  }
+  Out += "\n]";
+  return Out;
+}
+
+std::string spm::buildCrashDumpJson(const std::string &Command,
+                                    const std::string &ErrorText,
+                                    const std::string &ProvenanceJson) {
+  traceSyncDropMetrics();
+  std::string Out = "{\n\"format\": \"spm-crash v1\",\n\"command\": ";
+  appendJsonString(Out, Command);
+  Out += ",\n\"error\": ";
+  appendJsonString(Out, ErrorText);
+  if (!ProvenanceJson.empty())
+    Out += ",\n\"provenance\": " + ProvenanceJson;
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), ",\n\"flight_overwritten\": %llu",
+                static_cast<unsigned long long>(flightRecorderOverwritten()));
+  Out += Buf;
+  Out += ",\n\"flight_recorder\": " + flightRecorderToJson();
+  // The registry's JSONL lines are each a complete object; joined with
+  // commas they form the array — no re-serialization needed.
+  Out += ",\n\"metrics\": [";
+  std::string Jsonl = metrics().toJsonl();
+  bool First = true;
+  size_t Start = 0;
+  while (Start < Jsonl.size()) {
+    size_t Nl = Jsonl.find('\n', Start);
+    if (Nl == std::string::npos)
+      Nl = Jsonl.size();
+    if (Nl > Start) {
+      Out += First ? "\n" : ",\n";
+      First = false;
+      Out.append(Jsonl, Start, Nl - Start);
+    }
+    Start = Nl + 1;
+  }
+  Out += "\n]\n}\n";
+  return Out;
+}

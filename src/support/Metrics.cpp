@@ -129,7 +129,10 @@ std::string MetricsRegistry::toJsonl() const {
                ", \"stddev\": " + fmtDouble(S.stddev()) +
                ", \"min\": " + fmtDouble(S.min()) +
                ", \"max\": " + fmtDouble(S.max()) +
-               ", \"sum\": " + fmtDouble(S.sum());
+               ", \"sum\": " + fmtDouble(S.sum()) +
+               ", \"p50\": " + fmtDouble(E.second->percentile(0.50)) +
+               ", \"p90\": " + fmtDouble(E.second->percentile(0.90)) +
+               ", \"p99\": " + fmtDouble(E.second->percentile(0.99));
       Rows.push_back(std::move(R));
     }
   }

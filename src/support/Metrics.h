@@ -38,6 +38,7 @@
 #include "support/Trace.h"
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -116,10 +117,25 @@ private:
   bool Seen = false;
 };
 
-/// Streaming histogram: count/mean/stddev/min/max via RunningStat. Mutex-
-/// guarded — record sites run at restart/shard/checkpoint granularity.
+/// Streaming histogram: count/mean/stddev/min/max via RunningStat, plus
+/// fixed log-spaced buckets for percentile estimates. Mutex-guarded —
+/// record sites run at restart/shard/checkpoint granularity.
+///
+/// The buckets are 8-per-decade over [1e-9, 1e9) with an underflow bucket
+/// for non-positive values and an overflow bucket above; a percentile
+/// estimate is the geometric midpoint of the bucket holding the requested
+/// rank, so it is within one bucket ratio (10^(1/8) ~ 1.33x) of the true
+/// order statistic. Exact moments stay with the Welford accumulator; the
+/// buckets only answer rank queries.
 class MetricHistogram {
 public:
+  static constexpr int BucketsPerDecade = 8;
+  static constexpr int MinDecade = -9;
+  static constexpr int MaxDecade = 9;
+  /// Underflow + log buckets + overflow.
+  static constexpr int NumBuckets =
+      (MaxDecade - MinDecade) * BucketsPerDecade + 2;
+
   void record(double X) {
     if (spmTraceEnabled())
       forceRecord(X);
@@ -127,20 +143,70 @@ public:
   void forceRecord(double X) {
     std::lock_guard<std::mutex> Lock(Mu);
     S.add(X);
+    ++Buckets[bucketOf(X)];
   }
 
   RunningStat snapshot() const {
     std::lock_guard<std::mutex> Lock(Mu);
     return S;
   }
+
+  /// Estimated value at quantile \p Q in [0, 1] (0 on an empty histogram):
+  /// the geometric midpoint of the bucket containing the ceil(Q*N)-th
+  /// observation. The underflow bucket reports 0, the overflow bucket the
+  /// upper range bound.
+  double percentile(double Q) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    uint64_t N = S.count();
+    if (N == 0)
+      return 0.0;
+    if (Q < 0.0)
+      Q = 0.0;
+    if (Q > 1.0)
+      Q = 1.0;
+    uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(N));
+    if (Rank < 1)
+      Rank = 1;
+    uint64_t Seen = 0;
+    for (int B = 0; B < NumBuckets; ++B) {
+      Seen += Buckets[B];
+      if (Seen >= Rank)
+        return bucketMid(B);
+    }
+    return bucketMid(NumBuckets - 1);
+  }
+
   void reset() {
     std::lock_guard<std::mutex> Lock(Mu);
     S = RunningStat();
+    for (uint64_t &B : Buckets)
+      B = 0;
   }
 
 private:
+  static int bucketOf(double X) {
+    if (!(X > 0.0))
+      return 0; // Non-positive (and NaN) observations underflow.
+    double L = (std::log10(X) - MinDecade) * BucketsPerDecade;
+    if (L < 0.0)
+      return 0;
+    int Idx = static_cast<int>(L);
+    if (Idx >= NumBuckets - 2)
+      return NumBuckets - 1;
+    return Idx + 1;
+  }
+  static double bucketMid(int B) {
+    if (B == 0)
+      return 0.0;
+    if (B == NumBuckets - 1)
+      return std::pow(10.0, MaxDecade);
+    double LowExp = MinDecade + static_cast<double>(B - 1) / BucketsPerDecade;
+    return std::pow(10.0, LowExp + 0.5 / BucketsPerDecade);
+  }
+
   mutable std::mutex Mu;
   RunningStat S;
+  uint64_t Buckets[NumBuckets] = {};
 };
 
 /// The process-wide registry. Lookup interns the name under a mutex and

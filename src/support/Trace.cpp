@@ -2,6 +2,8 @@
 
 #include "support/Trace.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -33,7 +35,33 @@ struct Registry {
   /// span before exit, so the stream it leaves behind is balanced and the
   /// new owner's events append after it, still in timestamp order).
   std::vector<ThreadBuf *> Free;
+  /// Buffers handed out of Free since the last reset (the
+  /// `trace.rings_recycled` metric; see traceSyncDropMetrics).
+  uint64_t Recycled = 0;
 };
+
+/// One completed interval on the phase timeline track. Process-wide (cuts
+/// happen on whichever thread runs the interval builder, but never
+/// concurrently within one pipeline) and bounded like the span rings:
+/// overflow drops whole intervals and counts them.
+struct PhaseRing {
+  static constexpr size_t Capacity = 1u << 13; ///< 8K intervals.
+  struct Entry {
+    int32_t PhaseId;
+    uint64_t EndNs;   ///< Trace-epoch-relative end of the interval.
+    uint64_t WallNs;  ///< Duration (EndNs - WallNs is the begin).
+    uint64_t Instrs;
+    uint64_t Mem;
+  };
+  std::mutex Mu;
+  std::vector<Entry> Entries;
+  uint64_t Dropped = 0;
+};
+
+PhaseRing &phaseRing() {
+  static PhaseRing *R = new PhaseRing; // Leaked, same as the span registry.
+  return *R;
+}
 
 Registry &registry() {
   static Registry *R = new Registry; // Leaked: threads may outlive statics.
@@ -83,6 +111,7 @@ ThreadBuf &threadBuf() {
     if (!R.Free.empty()) {
       H.Buf = R.Free.back();
       R.Free.pop_back();
+      ++R.Recycled;
     } else {
       R.Bufs.push_back(std::make_unique<ThreadBuf>());
       H.Buf = R.Bufs.back().get();
@@ -94,6 +123,51 @@ ThreadBuf &threadBuf() {
 
 } // namespace trace_detail
 } // namespace spm
+
+void spm::tracePhaseInterval(int32_t PhaseId, uint64_t WallNs,
+                             uint64_t Instrs, uint64_t MemAccesses) {
+  trace_detail::PhaseRing &R = trace_detail::phaseRing();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  if (R.Entries.size() >= trace_detail::PhaseRing::Capacity) {
+    ++R.Dropped;
+    return;
+  }
+  R.Entries.push_back(
+      {PhaseId, trace_detail::nowNs(), WallNs, Instrs, MemAccesses});
+}
+
+size_t spm::tracePhaseEventCount() {
+  trace_detail::PhaseRing &R = trace_detail::phaseRing();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  return R.Entries.size();
+}
+
+uint64_t spm::tracePhaseDroppedCount() {
+  trace_detail::PhaseRing &R = trace_detail::phaseRing();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  return R.Dropped;
+}
+
+void spm::traceSyncDropMetrics() {
+  // Drops are counted on lock-free paths that cannot touch the registry
+  // mutex; this republishes the totals as ordinary counters. Computed as a
+  // raise-to-total so repeated syncs are idempotent, and resetting both
+  // sides (traceReset + resetAll, the test-isolation pairing) restarts the
+  // accounting cleanly.
+  uint64_t Dropped = traceDroppedCount() + tracePhaseDroppedCount();
+  uint64_t Recycled;
+  {
+    trace_detail::Registry &R = trace_detail::registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    Recycled = R.Recycled;
+  }
+  MetricCounter &D = metrics().counter("trace.dropped_spans");
+  if (Dropped > D.value())
+    D.forceAdd(Dropped - D.value());
+  MetricCounter &C = metrics().counter("trace.rings_recycled");
+  if (Recycled > C.value())
+    C.forceAdd(Recycled - C.value());
+}
 
 size_t spm::traceEventCount() {
   trace_detail::Registry &R = trace_detail::registry();
@@ -114,14 +188,22 @@ uint64_t spm::traceDroppedCount() {
 }
 
 void spm::traceReset() {
-  trace_detail::Registry &R = trace_detail::registry();
-  std::lock_guard<std::mutex> Lock(R.Mu);
-  for (auto &B : R.Bufs) {
-    // OpenEnds is deliberately preserved: a span open across a reset still
-    // owes its end record, and its reserved slot must survive the wipe.
-    B->Size = 0;
-    B->Dropped = 0;
+  {
+    trace_detail::Registry &R = trace_detail::registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    for (auto &B : R.Bufs) {
+      // OpenEnds is deliberately preserved: a span open across a reset
+      // still owes its end record, and its reserved slot must survive the
+      // wipe.
+      B->Size = 0;
+      B->Dropped = 0;
+    }
+    R.Recycled = 0;
   }
+  trace_detail::PhaseRing &P = trace_detail::phaseRing();
+  std::lock_guard<std::mutex> Lock(P.Mu);
+  P.Entries.clear();
+  P.Dropped = 0;
 }
 
 std::vector<spm::TraceThreadStats> spm::traceThreadStats() {
@@ -176,12 +258,12 @@ void appendJsonString(std::string &Out, const char *S) {
 
 } // namespace
 
-std::string spm::traceToChromeJson() {
+std::string spm::traceToChromeJson(const std::string &ProvenanceJson) {
   trace_detail::Registry &R = trace_detail::registry();
   std::lock_guard<std::mutex> Lock(R.Mu);
 
   std::string Out = "{\"traceEvents\": [\n";
-  char Buf[128];
+  char Buf[256];
   bool First = true;
   uint64_t Dropped = 0;
   for (const auto &B : R.Bufs) {
@@ -201,11 +283,58 @@ std::string spm::traceToChromeJson() {
       Out += Buf;
     }
   }
+
+  // The phase timeline: tid 0 (below every real thread), one "X" complete
+  // event per recorded interval, plus a "C" counter event at each interval
+  // begin so Perfetto draws instr/mem rate tracks against the phase
+  // boundaries.
+  uint64_t PhaseDropped = 0;
+  {
+    trace_detail::PhaseRing &P = trace_detail::phaseRing();
+    std::lock_guard<std::mutex> PLock(P.Mu);
+    PhaseDropped = P.Dropped;
+    if (!P.Entries.empty()) {
+      if (!First)
+        Out += ",\n";
+      First = false;
+      Out += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+             "\"tid\": 0, \"args\": {\"name\": \"phases\"}}";
+    }
+    for (const trace_detail::PhaseRing::Entry &E : P.Entries) {
+      double EndUs = static_cast<double>(E.EndNs) / 1000.0;
+      double DurUs = static_cast<double>(E.WallNs) / 1000.0;
+      double BeginUs = EndUs > DurUs ? EndUs - DurUs : 0.0;
+      std::snprintf(Buf, sizeof(Buf),
+                    ",\n{\"name\": \"phase %d\", \"ph\": \"X\", "
+                    "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": 0, "
+                    "\"args\": {\"phase\": %d, \"instrs\": %llu, "
+                    "\"mem\": %llu}}",
+                    E.PhaseId, BeginUs, DurUs, E.PhaseId,
+                    static_cast<unsigned long long>(E.Instrs),
+                    static_cast<unsigned long long>(E.Mem));
+      Out += Buf;
+      // Rates in events/us; a zero-duration interval (clock granularity)
+      // reports the raw counts instead of infinity.
+      double Div = DurUs > 0.0 ? DurUs : 1.0;
+      std::snprintf(Buf, sizeof(Buf),
+                    ",\n{\"name\": \"phase.rate\", \"ph\": \"C\", "
+                    "\"ts\": %.3f, \"pid\": 1, \"args\": "
+                    "{\"instrs_per_us\": %.3f, \"mem_per_us\": %.3f}}",
+                    BeginUs, static_cast<double>(E.Instrs) / Div,
+                    static_cast<double>(E.Mem) / Div);
+      Out += Buf;
+    }
+  }
+
   std::snprintf(Buf, sizeof(Buf),
                 "\n], \"displayTimeUnit\": \"ms\", \"otherData\": "
-                "{\"dropped_spans\": %llu}}\n",
-                static_cast<unsigned long long>(Dropped));
+                "{\"dropped_spans\": %llu, \"dropped_phase_events\": %llu",
+                static_cast<unsigned long long>(Dropped),
+                static_cast<unsigned long long>(PhaseDropped));
   Out += Buf;
+  if (!ProvenanceJson.empty())
+    Out += ", \"provenance\": " + ProvenanceJson;
+  Out += "}}\n";
   return Out;
 }
 
@@ -213,12 +342,20 @@ std::string spm::traceToChromeJson() {
 
 size_t spm::traceEventCount() { return 0; }
 uint64_t spm::traceDroppedCount() { return 0; }
+size_t spm::tracePhaseEventCount() { return 0; }
+uint64_t spm::tracePhaseDroppedCount() { return 0; }
+void spm::traceSyncDropMetrics() {}
 void spm::traceReset() {}
 std::vector<spm::TraceThreadStats> spm::traceThreadStats() { return {}; }
 
-std::string spm::traceToChromeJson() {
-  return "{\"traceEvents\": [\n], \"displayTimeUnit\": \"ms\", "
-         "\"otherData\": {\"dropped_spans\": 0}}\n";
+std::string spm::traceToChromeJson(const std::string &ProvenanceJson) {
+  std::string Out =
+      "{\"traceEvents\": [\n], \"displayTimeUnit\": \"ms\", "
+      "\"otherData\": {\"dropped_spans\": 0, \"dropped_phase_events\": 0";
+  if (!ProvenanceJson.empty())
+    Out += ", \"provenance\": " + ProvenanceJson;
+  Out += "}}\n";
+  return Out;
 }
 
 #endif // SPM_TRACE_ENABLED

@@ -159,10 +159,22 @@ private:
   const char *Name = nullptr;
 };
 
+/// Records one completed interval on the dedicated "phases" timeline track
+/// (tid 0 in the Chrome export): the interval's phase id, its wall duration,
+/// and its instruction/memory-access attribution. The end timestamp is
+/// sampled here, so call at the cut boundary. Gated like every span site —
+/// callers guard on spmTraceEnabled(). Bounded process-wide ring; overflow
+/// drops whole intervals and counts them (tracePhaseDroppedCount,
+/// otherData.dropped_phase_events).
+void tracePhaseInterval(int32_t PhaseId, uint64_t WallNs, uint64_t Instrs,
+                        uint64_t MemAccesses);
+
 #else // !SPM_TRACE_ENABLED
 
 inline void spmTraceSetEnabled(bool) {}
 constexpr bool spmTraceEnabled() { return false; }
+
+inline void tracePhaseInterval(int32_t, uint64_t, uint64_t, uint64_t) {}
 
 /// Compiled-out span: an empty object the optimizer deletes entirely.
 class TraceSpan {
@@ -181,11 +193,30 @@ size_t traceEventCount();
 /// Total spans dropped to full ring buffers since the last reset.
 uint64_t traceDroppedCount();
 
+/// Phase intervals currently buffered on the phase track (0 when compiled
+/// out), and intervals dropped to the full phase ring since the last reset.
+size_t tracePhaseEventCount();
+uint64_t tracePhaseDroppedCount();
+
+/// Publishes the trace layer's own health counters into the metrics
+/// registry: `trace.dropped_spans` (spans + phase intervals lost to full
+/// rings) and `trace.rings_recycled` (per-thread buffers handed from exited
+/// threads to new ones). Drops happen on the lock-free hot path where the
+/// registry mutex is off-limits, so exporters call this once before reading
+/// the registry. Idempotent; a no-op when compiled out.
+void traceSyncDropMetrics();
+
 /// Renders every buffered span as Chrome trace_event JSON:
 /// `{"traceEvents": [{"name","ph":"B"/"E","ts","pid","tid"}...],
 ///   "otherData": {...}}`. Timestamps are microseconds (fractional) since
-/// the trace epoch. Returns `{"traceEvents": []...}` when compiled out.
-std::string traceToChromeJson();
+/// the trace epoch. Phase intervals recorded via tracePhaseInterval appear
+/// as "X" complete events on tid 0 (thread-named "phases") plus one
+/// "ph":"C" counter event per interval carrying instr/mem rates. Returns
+/// `{"traceEvents": []...}` when compiled out. \p ProvenanceJson, when
+/// non-empty, must be a complete JSON object; it is embedded verbatim as
+/// otherData.provenance in every build configuration, so exported traces
+/// stay self-describing even with the span machinery compiled out.
+std::string traceToChromeJson(const std::string &ProvenanceJson = "");
 
 /// Discards all buffered span events and drop counts (buffers of exited
 /// threads included). Tests and long-lived drivers use this between

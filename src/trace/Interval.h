@@ -28,6 +28,7 @@
 #include "vm/Observer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -43,6 +44,12 @@ constexpr int32_t ProloguePhase = -1;
 struct IntervalRecord {
   uint64_t StartInstr = 0;
   uint64_t NumInstrs = 0;
+  uint64_t NumBlocks = 0; ///< Dynamic block executions in the interval.
+  uint64_t NumMem = 0;    ///< Dynamic memory accesses in the interval.
+  /// Wall-clock time the interval was open, as observed by the builder.
+  /// Host-dependent — excluded from determinism comparisons and from the
+  /// serialized checkpoint state (a restored interval restarts its clock).
+  uint64_t WallNs = 0;
   /// Marker index that began this interval (ProloguePhase before the first
   /// firing). For fixed-length slicing this stays ProloguePhase; clustering
   /// assigns phases afterwards.
@@ -63,6 +70,8 @@ struct IntervalRecord {
 struct IntervalBuilderState {
   uint64_t StartInstr = 0;
   uint64_t CurInstrs = 0;
+  uint64_t CurBlocks = 0;
+  uint64_t CurMem = 0;
   int32_t CurPhase = ProloguePhase;
   bool PendingCut = false;
   int32_t PendingPhase = ProloguePhase;
@@ -89,7 +98,7 @@ public:
   }
 
   /// Marker callback: the interval in progress ends; the next one is
-  /// attributed to \p MarkerIdx. Consecutive cuts with no instructions in
+  /// attributed to \p MarkerIdx. Consecutive cuts with no execution in
   /// between collapse (the later marker wins).
   void requestCut(int32_t MarkerIdx) {
     PendingCut = true;
@@ -102,6 +111,15 @@ public:
       DenseW.resize(B.Blocks.size(), 0.0);
       Stamp.resize(B.Blocks.size(), 0);
     }
+    // Static per-block memory-access counts, so onBlock attributes memory
+    // with one table load instead of walking MemOps every execution.
+    if (MemPerBlock.size() < B.Blocks.size()) {
+      MemPerBlock.assign(B.Blocks.size(), 0);
+      for (size_t I = 0; I < B.Blocks.size(); ++I)
+        for (const MemAccessSpec &M : B.Blocks[I].MemOps)
+          MemPerBlock[I] += M.Count;
+    }
+    LastCut = std::chrono::steady_clock::now();
   }
 
   void onBlock(const LoweredBlock &Blk) override {
@@ -113,6 +131,13 @@ public:
       cut();
     }
     CurInstrs += Blk.NumInstrs;
+    ++CurBlocks;
+    if (Blk.GlobalId < MemPerBlock.size()) {
+      CurMem += MemPerBlock[Blk.GlobalId];
+    } else { // Standalone use without onRunStart.
+      for (const MemAccessSpec &M : Blk.MemOps)
+        CurMem += M.Count;
+    }
     if (CollectBbv) {
       uint32_t Id = Blk.GlobalId;
       if (Id >= Stamp.size()) { // Standalone use without onRunStart.
@@ -143,6 +168,8 @@ public:
     IntervalBuilderState St;
     St.StartInstr = StartInstr;
     St.CurInstrs = CurInstrs;
+    St.CurBlocks = CurBlocks;
+    St.CurMem = CurMem;
     St.CurPhase = CurPhase;
     St.PendingCut = PendingCut;
     St.PendingPhase = PendingPhase;
@@ -160,7 +187,12 @@ public:
   void restoreState(const IntervalBuilderState &St) {
     StartInstr = St.StartInstr;
     CurInstrs = St.CurInstrs;
+    CurBlocks = St.CurBlocks;
+    CurMem = St.CurMem;
     CurPhase = St.CurPhase;
+    // Wall time restarts at the boundary: segments of a sharded run each
+    // contribute only the time they actually held the interval open.
+    LastCut = std::chrono::steady_clock::now();
     PendingCut = St.PendingCut;
     PendingPhase = St.PendingPhase;
     LastPerf = St.LastPerf;
@@ -182,11 +214,21 @@ private:
       : FixedLen(FixedLen), Perf(Perf), CollectBbv(CollectBbv) {}
 
   void cut() {
-    if (CurInstrs == 0)
+    // The guard is on blocks as well as instructions: an interval holding
+    // only zero-instruction blocks must still be emitted, or its block and
+    // memory counts would leak into the next interval and break the
+    // per-phase attribution exactness invariant (tests/attribution_test).
+    if (CurInstrs == 0 && CurBlocks == 0)
       return; // Nothing accumulated; keep waiting.
+    auto Now = std::chrono::steady_clock::now();
     IntervalRecord R;
     R.StartInstr = StartInstr;
     R.NumInstrs = CurInstrs;
+    R.NumBlocks = CurBlocks;
+    R.NumMem = CurMem;
+    R.WallNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Now - LastCut)
+            .count());
     R.PhaseId = CurPhase;
     if (Perf) {
       R.Perf = Perf->counters() - LastPerf;
@@ -202,11 +244,15 @@ private:
     }
     StartInstr += CurInstrs;
     CurInstrs = 0;
-    Records.push_back(std::move(R));
+    CurBlocks = 0;
+    CurMem = 0;
+    LastCut = Now;
     if (spmTraceEnabled()) {
+      tracePhaseInterval(R.PhaseId, R.WallNs, R.NumInstrs, R.NumMem);
       static MetricCounter &C = metrics().counter("intervals.cut");
       C.forceAdd(1);
     }
+    Records.push_back(std::move(R));
   }
 
   uint64_t FixedLen; ///< 0 => marker mode.
@@ -215,10 +261,16 @@ private:
 
   uint64_t StartInstr = 0;
   uint64_t CurInstrs = 0;
+  uint64_t CurBlocks = 0;
+  uint64_t CurMem = 0;
   int32_t CurPhase = ProloguePhase;
   bool PendingCut = false;
   int32_t PendingPhase = ProloguePhase;
   PerfCounters LastPerf;
+  /// Static memory accesses per block execution, indexed by GlobalId.
+  std::vector<uint64_t> MemPerBlock;
+  std::chrono::steady_clock::time_point LastCut =
+      std::chrono::steady_clock::now();
   // Dense per-block BBV accumulator: DenseW[id] is valid for the current
   // interval iff Stamp[id] == Epoch; Touched lists the valid ids.
   std::vector<double> DenseW;

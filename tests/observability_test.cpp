@@ -748,3 +748,83 @@ TEST(Metrics, ResetPreservesInternedReferences) {
   EXPECT_EQ(metrics().counterValue("obs.interned"), 1u);
   EXPECT_EQ(metrics().counterValue("obs.never_created"), 0u);
 }
+
+//===----------------------------------------------------------------------===//
+// Phase timeline track, provenance header, and drop accounting (spmtrace v2)
+//===----------------------------------------------------------------------===//
+
+// Each cut interval lands on the phase timeline track exactly once, and the
+// Chrome export renders it as an "X" complete event (with per-interval
+// instr/mem attribution in args) plus a "C" rate counter, all on the
+// metadata-named "phases" thread at tid 0.
+TEST(PhaseTrack, OneTimelineEventPerInterval) {
+  ObsGuard Guard;
+  PipelineCase C = makeCase();
+  spmTraceSetEnabled(true);
+  MarkerRun Run = runMarkerIntervalsSharded(*C.B, C.Loops, *C.G, C.Markers,
+                                            C.W.Ref, false, false,
+                                            /*NShards=*/1, Cap);
+  spmTraceSetEnabled(false);
+  ASSERT_FALSE(Run.Intervals.empty());
+  if (!traceCompiledIn()) {
+    EXPECT_EQ(tracePhaseEventCount(), 0u);
+    return;
+  }
+  EXPECT_EQ(tracePhaseEventCount(), Run.Intervals.size());
+  std::string Json = traceToChromeJson();
+  EXPECT_TRUE(JsonParser(Json).parse());
+  EXPECT_NE(Json.find("\"args\": {\"name\": \"phases\"}"), std::string::npos);
+  EXPECT_NE(Json.find("\"name\": \"phase "), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\": \"phase.rate\", \"ph\": \"C\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"instrs_per_us\""), std::string::npos);
+}
+
+// The phase track obeys the runtime switch like every span site: a run with
+// tracing disabled records no timeline events at all.
+TEST(PhaseTrack, DisabledRecordsNothing) {
+  ObsGuard Guard;
+  PipelineCase C = makeCase();
+  MarkerRun Run = runMarkerIntervalsSharded(*C.B, C.Loops, *C.G, C.Markers,
+                                            C.W.Ref, false, false,
+                                            /*NShards=*/1, Cap);
+  ASSERT_FALSE(Run.Intervals.empty());
+  EXPECT_EQ(tracePhaseEventCount(), 0u);
+}
+
+// otherData.provenance embeds the caller's JSON verbatim in every build
+// configuration — exported traces stay self-describing even with the span
+// machinery compiled out — and is omitted entirely when not supplied.
+TEST(PhaseTrack, ProvenanceEmbeddedInExport) {
+  ObsGuard Guard;
+  std::string Json = traceToChromeJson("{\"seed\": 42, \"tool\": \"t\"}");
+  EXPECT_TRUE(JsonParser(Json).parse());
+  EXPECT_NE(Json.find("\"provenance\": {\"seed\": 42, \"tool\": \"t\"}"),
+            std::string::npos);
+  EXPECT_EQ(traceToChromeJson().find("provenance"), std::string::npos);
+}
+
+// Overflowing the bounded phase ring drops whole intervals and counts every
+// one; traceSyncDropMetrics republishes the total into the registry as a
+// raise-to-total (idempotent), and the export's otherData reports it.
+TEST(PhaseTrack, RingOverflowIsCountedAndSynced) {
+  ObsGuard Guard;
+  if (!traceCompiledIn())
+    GTEST_SKIP() << "trace compiled out";
+  // Fill to capacity, then five more: exactly five drops.
+  while (tracePhaseDroppedCount() == 0)
+    tracePhaseInterval(1, 10, 100, 7);
+  for (int I = 0; I < 4; ++I)
+    tracePhaseInterval(1, 10, 100, 7);
+  EXPECT_EQ(tracePhaseDroppedCount(), 5u);
+  traceSyncDropMetrics();
+  EXPECT_EQ(metrics().counterValue("trace.dropped_spans"), 5u);
+  traceSyncDropMetrics(); // Raise-to-total: a second sync adds nothing.
+  EXPECT_EQ(metrics().counterValue("trace.dropped_spans"), 5u);
+  std::string Json = traceToChromeJson();
+  EXPECT_NE(Json.find("\"dropped_phase_events\": 5"), std::string::npos);
+  traceReset();
+  EXPECT_EQ(tracePhaseEventCount(), 0u);
+  EXPECT_EQ(tracePhaseDroppedCount(), 0u);
+}

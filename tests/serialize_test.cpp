@@ -240,13 +240,13 @@ TEST(SerializeCheckpoint, RejectsInsaneCountInEveryVectorSection) {
     // First element-count field within each section's payload: tracker and
     // markers open with one; interp's SeqPos count follows the scalar
     // prelude; interval's partial-BBV count follows StartInstr(8) +
-    // CurInstrs(8) + CurPhase(4) + PendingCut(1) + PendingPhase(4) +
-    // LastPerf counters(64).
+    // CurInstrs(8) + CurBlocks(8) + CurMem(8) + CurPhase(4) +
+    // PendingCut(1) + PendingPhase(4) + LastPerf counters(64).
     size_t CountOff = S.PayloadOff;
     if (std::string(S.Name) == "interp")
       CountOff += ckptutil::InterpSeqPosCountOff;
     else if (std::string(S.Name) == "interval")
-      CountOff += 8 + 8 + 4 + 1 + 4 + 64;
+      CountOff += 8 + 8 + 8 + 8 + 4 + 1 + 4 + 64;
     for (int I = 0; I < 8; ++I)
       Bad[CountOff + I] = static_cast<char>(0xff);
     ckptutil::resealSection(Bad, S);

@@ -472,6 +472,8 @@ TEST(ShardCheckpoint, RoundTripPreservesEverySection) {
   C.HasInterval = true;
   C.Interval.StartInstr = 500;
   C.Interval.CurInstrs = 123;
+  C.Interval.CurBlocks = 17;
+  C.Interval.CurMem = 456;
   C.Interval.PendingCut = true;
   C.Interval.PendingPhase = 4;
   C.Interval.Partial = {{2, 10.0}, {5, 1.5}};
@@ -503,6 +505,8 @@ TEST(ShardCheckpoint, RoundTripPreservesEverySection) {
   ASSERT_TRUE(P->HasInterval);
   EXPECT_EQ(P->Interval.StartInstr, C.Interval.StartInstr);
   EXPECT_EQ(P->Interval.CurInstrs, C.Interval.CurInstrs);
+  EXPECT_EQ(P->Interval.CurBlocks, C.Interval.CurBlocks);
+  EXPECT_EQ(P->Interval.CurMem, C.Interval.CurMem);
   EXPECT_EQ(P->Interval.PendingCut, C.Interval.PendingCut);
   EXPECT_EQ(P->Interval.Partial, C.Interval.Partial);
   ASSERT_TRUE(P->HasPerf);

@@ -1,5 +1,6 @@
 //===- tests/support_test.cpp - support library unit tests ----------------==//
 
+#include "support/Metrics.h"
 #include "support/Random.h"
 #include "support/Stats.h"
 #include "support/Table.h"
@@ -413,4 +414,71 @@ TEST(Random, SplitMixStateRoundTrip) {
   B.setState(A.state());
   for (int I = 0; I < 500; ++I)
     EXPECT_EQ(A.next(), B.next());
+}
+
+//===----------------------------------------------------------------------===//
+// MetricHistogram percentiles
+//===----------------------------------------------------------------------===//
+
+TEST(MetricHistogram, EmptyPercentilesAreZero) {
+  MetricHistogram H;
+  EXPECT_EQ(H.percentile(0.5), 0.0);
+  EXPECT_EQ(H.percentile(0.99), 0.0);
+}
+
+TEST(MetricHistogram, PercentileWithinOneBucketRatio) {
+  // 1000 samples spread over three decades; log buckets guarantee the
+  // estimate is within one bucket ratio (10^(1/8)) of the true order
+  // statistic.
+  MetricHistogram H;
+  std::vector<double> Xs;
+  for (int I = 1; I <= 1000; ++I) {
+    double X = 0.001 * static_cast<double>(I); // 0.001 .. 1.0
+    Xs.push_back(X);
+    H.forceRecord(X);
+  }
+  double Ratio = std::pow(10.0, 1.0 / MetricHistogram::BucketsPerDecade);
+  for (double Q : {0.5, 0.9, 0.99}) {
+    double True = Xs[static_cast<size_t>(Q * Xs.size()) - 1];
+    double Est = H.percentile(Q);
+    EXPECT_GE(Est, True / Ratio) << "q=" << Q;
+    EXPECT_LE(Est, True * Ratio) << "q=" << Q;
+  }
+}
+
+TEST(MetricHistogram, PercentilesAreMonotone) {
+  MetricHistogram H;
+  Rng R(11);
+  for (int I = 0; I < 500; ++I)
+    H.forceRecord(std::exp(R.nextGaussian() * 2.0));
+  double Last = 0.0;
+  for (double Q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    double P = H.percentile(Q);
+    EXPECT_GE(P, Last) << "q=" << Q;
+    Last = P;
+  }
+}
+
+TEST(MetricHistogram, UnderflowAndOverflowBuckets) {
+  MetricHistogram H;
+  H.forceRecord(0.0);   // Underflow: non-positive.
+  H.forceRecord(-5.0);  // Underflow.
+  H.forceRecord(1e12);  // Overflow: beyond the top decade.
+  EXPECT_EQ(H.percentile(0.01), 0.0);
+  EXPECT_EQ(H.percentile(0.5), 0.0);
+  EXPECT_EQ(H.percentile(1.0), 1e9);
+  H.reset();
+  EXPECT_EQ(H.snapshot().count(), 0u);
+  EXPECT_EQ(H.percentile(0.5), 0.0);
+}
+
+TEST(MetricHistogram, SingleSampleEveryQuantile) {
+  MetricHistogram H;
+  H.forceRecord(0.25);
+  double Ratio = std::pow(10.0, 1.0 / MetricHistogram::BucketsPerDecade);
+  for (double Q : {0.0, 0.5, 1.0}) {
+    double P = H.percentile(Q);
+    EXPECT_GE(P, 0.25 / Ratio);
+    EXPECT_LE(P, 0.25 * Ratio);
+  }
 }

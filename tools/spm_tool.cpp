@@ -31,8 +31,10 @@
 #include "markers/Serialize.h"
 #include "markers/Sharded.h"
 #include "phase/Metrics.h"
+#include "phase/PhaseStats.h"
 #include "support/AtomicFile.h"
 #include "support/FailPoint.h"
+#include "support/FlightRecorder.h"
 #include "support/Metrics.h"
 #include "support/Parallel.h"
 #include "support/Table.h"
@@ -68,6 +70,7 @@ int usage() {
       "  spm_tool select <profile-file> [--ilower N] [--limit N]\n"
       "                  [--procs-only] [-o <file>]\n"
       "  spm_tool report <workload> <marker-file> [--input train|ref]\n"
+      "                  [--per-phase] [--per-phase-out <jsonl>]\n"
       "  spm_tool bench [<workload>...] [--jobs N] [--ilower N] [--limit N]\n"
       "  spm_tool bench --profile [<workload>...] [--reps N] [-o <json>]\n"
       "  spm_tool checkpoint save <workload> <marker-file> --at N\n"
@@ -94,6 +97,12 @@ int usage() {
       "        --failpoints SPEC arms named fault-injection points, e.g.\n"
       "        ckpt.write=partial:3,shard.exec=throw:every:2 (testing;\n"
       "        needs an SPM_FAILPOINTS=ON build, see docs/robustness.md)\n"
+      "        report --per-phase prints the per-phase attribution table;\n"
+      "        --per-phase-out FILE writes it as JSONL with a provenance\n"
+      "        header line (docs/FORMATS.md)\n"
+      "        when a command dies on an unhandled exception or injected\n"
+      "        fault, a flight-recorder crash dump lands next to -o as\n"
+      "        <out>.crash.json (docs/observability.md)\n"
       "bench --profile measures per-stage event throughput of the legacy\n"
       "per-event engine vs the batched engine; JSON lands in\n"
       "BENCH_engine.json unless -o overrides it; the sharded-execution\n"
@@ -167,6 +176,9 @@ std::string jsonEscape(const std::string &S) {
   return Out;
 }
 
+struct CommonArgs;
+std::string provenanceJson(const std::string &Cmd, const CommonArgs &A);
+
 bool knownWorkload(const std::string &Name) {
   for (const std::string &N : WorkloadRegistry::allNames())
     if (N == Name)
@@ -192,6 +204,8 @@ struct CommonArgs {
   uint64_t Seed = 1;
   bool SplitIrreducible = false;
   bool Report = false;
+  bool PerPhase = false;
+  std::string PerPhaseOut;
   bool Bad = false;
 };
 
@@ -271,6 +285,10 @@ CommonArgs parseArgs(int Argc, char **Argv, int Start) {
       A.SplitIrreducible = true;
     } else if (Arg == "--report") {
       A.Report = true;
+    } else if (Arg == "--per-phase") {
+      A.PerPhase = true;
+    } else if (valueOpt(Arg, "--per-phase-out", I, Argc, Argv, V)) {
+      A.PerPhaseOut = V;
     } else if (Arg == "--jobs" && I + 1 < Argc) {
       setParallelJobs(std::atoi(Argv[++I]));
     } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
@@ -293,6 +311,32 @@ CommonArgs parseArgs(int Argc, char **Argv, int Start) {
     A.Bad = true;
   }
   return A;
+}
+
+/// The run-provenance header stamped on every export (trace timeline,
+/// metrics JSONL, per-phase JSONL, crash dump): enough configuration to
+/// re-run the command and to tell artifacts from differently-configured
+/// runs apart. One JSON object, no trailing newline.
+std::string provenanceJson(const std::string &Cmd, const CommonArgs &A) {
+  bool Fused = (A.Engine == "bytecode" && !A.NoFuse) ||
+               A.Engine == "bytecode-fused";
+  std::string Out = "{\"format_version\": 1";
+  Out += ", \"tool\": \"spm_tool\"";
+  Out += ", \"command\": \"" + jsonEscape(Cmd) + "\"";
+  Out += ", \"seed\": " + std::to_string(A.Seed);
+  Out += ", \"engine\": \"" + jsonEscape(A.Engine) + "\"";
+  Out += std::string(", \"fused\": ") + (Fused ? "true" : "false");
+  Out += ", \"jobs\": " + std::to_string(parallelJobs());
+  Out += ", \"input\": \"" + std::string(A.UseRef ? "ref" : "train") + "\"";
+  Out += std::string(", \"trace_compiled_in\": ") +
+         (traceCompiledIn() ? "true" : "false");
+  Out += std::string(", \"trace_enabled\": ") +
+         (spmTraceEnabled() ? "true" : "false");
+  Out += std::string(", \"failpoints_compiled_in\": ") +
+         (failpointsCompiledIn() ? "true" : "false");
+  Out += ", \"failpoints\": \"" + jsonEscape(A.Failpoints) + "\"";
+  Out += "}";
+  return Out;
 }
 
 /// Compiles \p Bin to bytecode when a bytecode engine was selected;
@@ -416,6 +460,23 @@ int cmdReport(const CommonArgs &A) {
   T.row().cell("per-phase CoV CPI").percentCell(S.OverallCov);
   T.row().cell("whole-run CoV CPI").percentCell(Whole);
   std::printf("%s", T.str().c_str());
+
+  if (A.PerPhase || !A.PerPhaseOut.empty()) {
+    PhaseStats PS = PhaseStats::fromIntervals(Run.Intervals);
+    if (A.PerPhase)
+      std::printf("\n%s", PS.toText().c_str());
+    if (!A.PerPhaseOut.empty()) {
+      std::string Jsonl = "{\"name\": \"spm.provenance\", \"type\": "
+                          "\"meta\", \"provenance\": " +
+                          provenanceJson("report", A) + "}\n" + PS.toJsonl();
+      if (!writeOutput(A.PerPhaseOut, Jsonl)) {
+        std::fprintf(stderr, "report: cannot write %s\n",
+                     A.PerPhaseOut.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s\n", A.PerPhaseOut.c_str());
+    }
+  }
   return 0;
 }
 
@@ -1372,14 +1433,20 @@ int cmdImport(const CommonArgs &A) {
 
 /// Writes the spmtrace artifacts requested by --trace-out/--metrics-out.
 /// Runs after the command finishes (success or failure) so a failing run
-/// still leaves its partial timeline and counters behind.
-int dumpObservability(const CommonArgs &A) {
+/// still leaves its partial timeline and counters behind. Both exports
+/// carry the run-provenance header \p Prov.
+int dumpObservability(const CommonArgs &A, const std::string &Prov) {
+  traceSyncDropMetrics();
   int Rc = 0;
   if (!A.TraceOut.empty()) {
-    if (writeOutput(A.TraceOut, traceToChromeJson(), "trace.write")) {
-      std::fprintf(stderr, "wrote %s (%zu span events, %llu dropped)\n",
+    if (writeOutput(A.TraceOut, traceToChromeJson(Prov), "trace.write")) {
+      std::fprintf(stderr,
+                   "wrote %s (%zu span events, %zu phase events, "
+                   "%llu dropped)\n",
                    A.TraceOut.c_str(), traceEventCount(),
-                   static_cast<unsigned long long>(traceDroppedCount()));
+                   tracePhaseEventCount(),
+                   static_cast<unsigned long long>(traceDroppedCount() +
+                                                   tracePhaseDroppedCount()));
     } else {
       std::fprintf(stderr, "cannot write %s\n", A.TraceOut.c_str());
       Rc = 1;
@@ -1388,7 +1455,10 @@ int dumpObservability(const CommonArgs &A) {
   if (!A.MetricsOut.empty()) {
     if (A.MetricsOut == "-") {
       std::fputs(metrics().toText().c_str(), stderr);
-    } else if (writeOutput(A.MetricsOut, metrics().toJsonl(),
+    } else if (writeOutput(A.MetricsOut,
+                           "{\"name\": \"spm.provenance\", \"type\": "
+                           "\"meta\", \"provenance\": " +
+                               Prov + "}\n" + metrics().toJsonl(),
                            "metrics.write")) {
       std::fprintf(stderr, "wrote %s\n", A.MetricsOut.c_str());
     } else {
@@ -1397,6 +1467,26 @@ int dumpObservability(const CommonArgs &A) {
     }
   }
   return Rc;
+}
+
+/// Writes the crash-time flight-recorder dump after an exception unwound
+/// out of a command: <out>.crash.json next to -o (or ./spm_tool.crash.json
+/// when output went to stdout). Reuses the `tool.write` seam; failures are
+/// reported but never escalate — the dump must not mask the original
+/// failure's exit path.
+void writeCrashDump(const CommonArgs &A, const std::string &ErrorText,
+                    const std::string &Prov) {
+  std::string Base = (A.OutPath.empty() || A.OutPath == "-")
+                         ? std::string("spm_tool")
+                         : A.OutPath;
+  std::string Path = Base + ".crash.json";
+  std::string Err;
+  if (atomicWriteFile(Path, buildCrashDumpJson("spm_tool", ErrorText, Prov),
+                      &Err, "tool.write"))
+    std::fprintf(stderr, "wrote crash dump %s\n", Path.c_str());
+  else
+    std::fprintf(stderr, "cannot write crash dump %s: %s\n", Path.c_str(),
+                 Err.c_str());
 }
 
 int dispatch(const std::string &Cmd, const CommonArgs &A) {
@@ -1439,7 +1529,10 @@ int main(int Argc, char **Argv) {
       return 2;
     }
   }
+  std::string Prov = provenanceJson(Cmd, A);
+  flightRecord("tool.cmd", Cmd);
   int Rc;
+  std::string CrashErr;
   {
     // Force-recorded so a metrics dump is never empty, even in builds
     // with SPM_TRACE compiled out.
@@ -1452,8 +1545,15 @@ int main(int Argc, char **Argv) {
       // observability dump below still runs.
       std::fprintf(stderr, "%s\n", E.what());
       Rc = 1;
+      CrashErr = E.what();
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "spm_tool: unhandled exception: %s\n", E.what());
+      Rc = 1;
+      CrashErr = E.what();
     }
   }
-  int ObsRc = dumpObservability(A);
+  if (!CrashErr.empty())
+    writeCrashDump(A, CrashErr, Prov);
+  int ObsRc = dumpObservability(A, Prov);
   return Rc ? Rc : ObsRc;
 }
